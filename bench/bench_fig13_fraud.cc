@@ -1,0 +1,110 @@
+// Figure 13: fraud-detection case study under a random camouflage attack.
+// Compares biclique, 1-biplex, 2-biplex, (α,β)-core and δ-quasi-biclique
+// detectors, reporting precision / recall / F1 for θ_L(β) = 4 and
+// θ_R(α) ∈ {3..7}; "ND" marks detectors that flagged nothing, as in the
+// paper.
+#include <iostream>
+#include <string>
+
+#include "analysis/biclique.h"
+#include "analysis/fraud.h"
+#include "analysis/quasi_biclique.h"
+#include "bench_common.h"
+#include "graph/generators.h"
+#include "util/random.h"
+#include "util/table.h"
+
+using namespace kbiplex;
+using namespace kbiplex::bench;
+
+namespace {
+
+std::string MetricCell(const BinaryMetrics& m, double BinaryMetrics::*field) {
+  if (!m.defined) return "ND";
+  return FormatDouble(m.*field, 2);
+}
+
+void PrintMetricTable(const char* title,
+                      const std::vector<std::string>& detectors,
+                      const std::vector<std::vector<BinaryMetrics>>& rows,
+                      double BinaryMetrics::*field, size_t theta_lo) {
+  std::cout << title << "\n";
+  std::vector<std::string> headers = {"theta_R (alpha)"};
+  for (const auto& d : detectors) headers.push_back(d);
+  TextTable t(headers);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::vector<std::string> cells = {std::to_string(theta_lo + i)};
+    for (const BinaryMetrics& m : rows[i]) {
+      cells.push_back(MetricCell(m, field));
+    }
+    t.AddRow(std::move(cells));
+  }
+  t.Print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = QuickMode(argc, argv);
+
+  // The attacked dataset: organic review graph with a thin user side and a
+  // heavy-tailed product side, plus the random camouflage attack
+  // (Section 6.3 / DESIGN.md substitutions).
+  Rng rng(31);
+  const size_t users = quick ? 2000 : 8000;
+  const size_t products = quick ? 150 : 600;
+  auto organic = PowerLawBipartiteAsym(users, products, users * 5 / 4, 3.0,
+                                       2.3, &rng);
+  CamouflageAttackConfig cfg;
+  cfg.fake_users = quick ? 30 : 120;
+  cfg.fake_products = quick ? 20 : 80;
+  cfg.fake_comments = cfg.fake_users * 8;
+  cfg.camouflage_comments = cfg.fake_users * 4;
+  cfg.seed = 32;
+  FraudDataset data = InjectCamouflageAttack(organic, cfg);
+  std::cout << "Attacked review graph: " << data.graph.NumLeft()
+            << " users x " << data.graph.NumRight() << " products, "
+            << data.graph.NumEdges() << " comments (" << cfg.fake_users
+            << " fake users, " << cfg.fake_products << " fake products)\n\n";
+
+  const size_t theta_l = 4;
+  const size_t theta_lo = 3;
+  const size_t theta_hi = 7;
+  const std::vector<std::string> detectors = {
+      "biclique", "1-biplex", "2-biplex", "(a,b)-core",
+      "0.01-QB",  "0.1-QB",   "0.2-QB",   "0.3-QB"};
+
+  std::vector<std::vector<BinaryMetrics>> rows;
+  DetectorBudget budget;
+  budget.time_budget_seconds = quick ? 10 : 60;
+  for (size_t tr = theta_lo; tr <= theta_hi; ++tr) {
+    std::vector<BinaryMetrics> row;
+    row.push_back(EvaluateDetection(
+        data, DetectByBiclique(data, theta_l, tr, budget)));
+    row.push_back(EvaluateDetection(
+        data, DetectByBiplex(data, 1, theta_l, tr, budget)));
+    row.push_back(EvaluateDetection(
+        data, DetectByBiplex(data, 2, theta_l, tr, budget)));
+    row.push_back(EvaluateDetection(
+        data, DetectByAlphaBetaCore(data, /*alpha=*/tr, /*beta=*/theta_l)));
+    for (double delta : {0.01, 0.1, 0.2, 0.3}) {
+      row.push_back(EvaluateDetection(
+          data, DetectByQuasiBiclique(data, delta, theta_l, tr)));
+    }
+    rows.push_back(std::move(row));
+  }
+
+  PrintMetricTable("== Figure 13(a): precision ==", detectors, rows,
+                   &BinaryMetrics::precision, theta_lo);
+  PrintMetricTable("== Figure 13(b): recall ==", detectors, rows,
+                   &BinaryMetrics::recall, theta_lo);
+  PrintMetricTable("== Figure 13(c): F1 score ==", detectors, rows,
+                   &BinaryMetrics::f1, theta_lo);
+
+  std::cout << "(theta_L (beta) fixed at " << theta_l
+            << "; ND: detector flagged nothing. Expected shape: 1-biplex "
+               "achieves the best F1, bicliques lose recall as theta_R "
+               "grows, the (a,b)-core keeps recall but loses precision.)\n";
+  return 0;
+}

@@ -1,0 +1,171 @@
+// Google-benchmark micro benchmarks for the core primitives: B-tree
+// insertion, bitset sweeps, graph construction, core decomposition,
+// EnumAlmostSat and maximal extension. These track the constant factors
+// behind the figure-level harnesses.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/biplex.h"
+#include "core/btraversal.h"
+#include "core/enum_almost_sat.h"
+#include "graph/core_decomposition.h"
+#include "graph/generators.h"
+#include "index/btree.h"
+#include "util/dynamic_bitset.h"
+#include "util/random.h"
+
+namespace kbiplex {
+namespace {
+
+void BM_BTreeInsert(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Biplex b{{static_cast<VertexId>(rng.NextBelow(1u << 20))},
+             {static_cast<VertexId>(rng.NextBelow(1u << 20)),
+              static_cast<VertexId>(i)}};
+    keys.push_back(EncodeBiplexKey(b));
+  }
+  for (auto _ : state) {
+    BTreeSet tree;
+    for (const auto& k : keys) tree.Insert(k);
+    benchmark::DoNotOptimize(tree.Size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BTreeInsert)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_BTreeLookup(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  BTreeSet tree;
+  std::vector<std::string> keys;
+  for (size_t i = 0; i < n; ++i) {
+    Biplex b{{static_cast<VertexId>(i)},
+             {static_cast<VertexId>(rng.NextBelow(1u << 20))}};
+    keys.push_back(EncodeBiplexKey(b));
+    tree.Insert(keys.back());
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Contains(keys[i++ % n]));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BTreeLookup)->Arg(10000)->Arg(100000);
+
+void BM_BitsetIntersects(benchmark::State& state) {
+  const size_t bits = static_cast<size_t>(state.range(0));
+  DynamicBitset a(bits), b(bits);
+  Rng rng(3);
+  for (size_t i = 0; i < bits / 50 + 1; ++i) {
+    a.Set(rng.NextBelow(bits));
+    b.Set(rng.NextBelow(bits));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Intersects(b));
+  }
+}
+BENCHMARK(BM_BitsetIntersects)->Arg(1024)->Arg(65536)->Arg(1048576);
+
+void BM_GraphBuild(benchmark::State& state) {
+  const size_t edges = static_cast<size_t>(state.range(0));
+  Rng rng(4);
+  auto g0 = ErdosRenyiBipartite(edges / 8, edges / 8, edges, &rng);
+  auto edge_list = g0.Edges();
+  for (auto _ : state) {
+    auto g =
+        BipartiteGraph::FromEdges(edges / 8, edges / 8, edge_list);
+    benchmark::DoNotOptimize(g.NumEdges());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(edges));
+}
+BENCHMARK(BM_GraphBuild)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_CoreDecomposition(benchmark::State& state) {
+  const size_t edges = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  auto g = PowerLawBipartiteAsym(edges / 4, edges / 16, edges, 3.0, 2.2,
+                                 &rng);
+  for (auto _ : state) {
+    auto core = AlphaBetaCore(g, 3, 3);
+    benchmark::DoNotOptimize(core.left.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(edges));
+}
+BENCHMARK(BM_CoreDecomposition)->Arg(100000)->Arg(1000000);
+
+void BM_EnumAlmostSat(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  auto spec = bench::FindDataset("Writer");
+  auto g = bench::MakeDataset(spec);
+  // Build one realistic workload: the first solution and an outside vertex.
+  TraversalOptions opts = MakeITraversalOptions(k);
+  opts.max_results = 50;
+  std::vector<Biplex> sols;
+  RunTraversal(g, opts, [&](const Biplex& b) {
+    // Skip the giant near-H0 solutions: with |R| in the thousands the
+    // subset enumeration is O(|R|^k) and would swamp the benchmark.
+    if (b.Size() <= 300) sols.push_back(b);
+    return true;
+  });
+  if (sols.empty()) {
+    state.SkipWithError("no solutions");
+    return;
+  }
+  Rng rng(6);
+  size_t i = 0;
+  for (auto _ : state) {
+    const Biplex& h = sols[i++ % sols.size()];
+    VertexId v;
+    do {
+      v = static_cast<VertexId>(rng.NextBelow(g.NumLeft()));
+    } while (sorted::Contains(h.left, v));
+    size_t found = 0;
+    EnumAlmostSat(g, h, Side::kLeft, v, k, EnumAlmostSatOptions{},
+                  [&](const Biplex&) {
+                    ++found;
+                    return true;
+                  });
+    benchmark::DoNotOptimize(found);
+  }
+}
+BENCHMARK(BM_EnumAlmostSat)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_ExtendToMaximal(benchmark::State& state) {
+  auto g = bench::MakeDataset(bench::FindDataset("Opsahl"));
+  MaximalExtender ext(g, 1);
+  Rng rng(7);
+  for (auto _ : state) {
+    Biplex b;
+    b.left.push_back(static_cast<VertexId>(rng.NextBelow(g.NumLeft())));
+    ext.Extend(&b, true, true);
+    benchmark::DoNotOptimize(b.Size());
+  }
+}
+BENCHMARK(BM_ExtendToMaximal);
+
+void BM_ITraversalFirst100(benchmark::State& state) {
+  auto g = bench::MakeDataset(bench::FindDataset("Crime"));
+  for (auto _ : state) {
+    TraversalOptions opts = MakeITraversalOptions(1);
+    opts.max_results = 100;
+    uint64_t n = 0;
+    RunTraversal(g, opts, [&](const Biplex&) {
+      ++n;
+      return true;
+    });
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_ITraversalFirst100);
+
+}  // namespace
+}  // namespace kbiplex
+
+BENCHMARK_MAIN();

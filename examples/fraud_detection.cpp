@@ -1,0 +1,69 @@
+// Fraud detection on a review graph under a random camouflage attack
+// (the Section 6.3 case study as a runnable application).
+//
+// Builds a synthetic organic user-product review graph, injects a block of
+// coordinated fake users/products with camouflage comments, and flags
+// suspicious accounts by enumerating large maximal 1-biplexes.
+//
+//   ./fraud_detection [seed]
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "analysis/fraud.h"
+#include "graph/generators.h"
+#include "util/random.h"
+
+using namespace kbiplex;
+
+int main(int argc, char** argv) {
+  const uint64_t seed = argc >= 2 ? std::stoull(argv[1]) : 7;
+
+  // Organic review data: nearly uniform users, heavy-tailed products.
+  Rng rng(seed);
+  BipartiteGraph organic =
+      PowerLawBipartiteAsym(2000, 150, 2500, 3.0, 2.3, &rng);
+
+  // The attack: 30 coordinated fake users promote 20 fake products and
+  // post an equal number of camouflage comments on real products.
+  CamouflageAttackConfig attack;
+  attack.fake_users = 30;
+  attack.fake_products = 20;
+  attack.fake_comments = 240;
+  attack.camouflage_comments = 120;
+  attack.seed = seed + 1;
+  FraudDataset data = InjectCamouflageAttack(organic, attack);
+
+  std::cout << "Review graph: " << data.graph.NumLeft() << " users, "
+            << data.graph.NumRight() << " products, "
+            << data.graph.NumEdges() << " comments\n"
+            << "Injected: " << attack.fake_users << " fake users, "
+            << attack.fake_products << " fake products (camouflaged)\n\n";
+
+  // Detect: vertices of maximal 1-biplexes with >= 4 users and >= 5
+  // products are flagged as suspicious.
+  DetectionResult flags = DetectByBiplex(data, /*k=*/1, /*theta_l=*/4,
+                                         /*theta_r=*/5);
+  BinaryMetrics m = EvaluateDetection(data, flags);
+
+  size_t flagged_users = 0;
+  size_t flagged_fake_users = 0;
+  for (size_t v = 0; v < flags.user_flagged.size(); ++v) {
+    if (!flags.user_flagged[v]) continue;
+    ++flagged_users;
+    if (data.IsFakeUser(static_cast<VertexId>(v))) ++flagged_fake_users;
+  }
+
+  std::cout << "Dense 1-biplex blocks found: " << flags.subgraphs_found
+            << "\n"
+            << "Flagged users: " << flagged_users << " ("
+            << flagged_fake_users << " actually fake)\n\n";
+  if (m.defined) {
+    std::cout << "Precision: " << m.precision << "\n"
+              << "Recall:    " << m.recall << "\n"
+              << "F1 score:  " << m.f1 << "\n";
+  } else {
+    std::cout << "Nothing was flagged (ND).\n";
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Large-MBP search: find only the maximal k-biplexes whose sides meet a
+// size threshold, using the Section 5 extension with (θ−k)-core
+// pre-reduction — without enumerating all MBPs first.
+//
+//   ./large_biplex_search [theta] [k]
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "core/large_mbp.h"
+#include "graph/generators.h"
+#include "util/random.h"
+
+using namespace kbiplex;
+
+int main(int argc, char** argv) {
+  const size_t theta = argc >= 2 ? std::stoul(argv[1]) : 5;
+  const int k = argc >= 3 ? std::stoi(argv[2]) : 1;
+
+  // A sparse background graph with two planted dense communities.
+  Rng rng(123);
+  BipartiteGraph g = ErdosRenyiBipartite(400, 400, 900, &rng);
+  g = PlantDenseBlock(g, 8, 9, 0.95, &rng);
+  g = PlantDenseBlock(g, 7, 7, 1.0, &rng);
+
+  std::cout << "Graph: |L| = " << g.NumLeft() << ", |R| = " << g.NumRight()
+            << ", |E| = " << g.NumEdges() << "\n"
+            << "Searching maximal " << k
+            << "-biplexes with both sides >= " << theta << "\n\n";
+
+  LargeMbpOptions opts;
+  opts.k = KPair::Uniform(k);
+  opts.theta_left = theta;
+  opts.theta_right = theta;
+  size_t count = 0;
+  LargeMbpStats stats = EnumerateLargeMbps(g, opts, [&](const Biplex& b) {
+    ++count;
+    if (count <= 10) {
+      std::cout << "  #" << count << ": " << b.left.size() << " x "
+                << b.right.size() << " (left ids " << b.left.front() << ".."
+                << b.left.back() << ")\n";
+    }
+    return true;
+  });
+  if (count > 10) std::cout << "  ... and " << count - 10 << " more\n";
+
+  std::cout << "\n(θ−k)-core reduction kept " << stats.core_left << " + "
+            << stats.core_right << " of " << g.NumLeft() + g.NumRight()
+            << " vertices\n"
+            << "Large MBPs found: " << count << " in " << stats.seconds
+            << " s\n";
+  return 0;
+}

@@ -1,0 +1,31 @@
+#include "analysis/biclique.h"
+
+#include "baselines/imb.h"
+
+namespace kbiplex {
+
+bool IsBiclique(const BipartiteGraph& g, const Biplex& b) {
+  for (VertexId v : b.left) {
+    if (g.ConnCount(Side::kLeft, v, b.right) != b.right.size()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+BicliqueEnumStats EnumerateMaximalBicliques(
+    const BipartiteGraph& g, const BicliqueEnumOptions& opts,
+    const std::function<bool(const Biplex&)>& cb) {
+  // A biclique is a 0-biplex; reuse the hereditary set-enumeration
+  // backtracking with k = 0 and iMB's size pruning.
+  ImbOptions iopts;
+  iopts.k = 0;
+  iopts.theta_left = opts.theta_left;
+  iopts.theta_right = opts.theta_right;
+  iopts.max_results = opts.max_results;
+  iopts.time_budget_seconds = opts.time_budget_seconds;
+  ImbStats s = RunImb(g, iopts, cb);
+  return {s.solutions, s.completed};
+}
+
+}  // namespace kbiplex

@@ -1,0 +1,40 @@
+// Maximal biclique enumeration. A biclique is exactly a 0-biplex, so the
+// hereditary set-enumeration baseline enumerates them; this module exists
+// as the biclique detector of the fraud case study and as an oracle for
+// the k → 0 limit of the biplex machinery.
+#ifndef KBIPLEX_ANALYSIS_BICLIQUE_H_
+#define KBIPLEX_ANALYSIS_BICLIQUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/biplex.h"
+#include "graph/bipartite_graph.h"
+
+namespace kbiplex {
+
+/// True iff every left member of `b` connects every right member.
+bool IsBiclique(const BipartiteGraph& g, const Biplex& b);
+
+/// Options of one enumeration run.
+struct BicliqueEnumOptions {
+  size_t theta_left = 0;   // report only bicliques with |L'| >= theta_left
+  size_t theta_right = 0;  // and |R'| >= theta_right
+  uint64_t max_results = 0;
+  double time_budget_seconds = 0;
+};
+
+/// Enumerates maximal bicliques meeting the size thresholds; returns the
+/// number reported and whether the run completed.
+struct BicliqueEnumStats {
+  uint64_t solutions = 0;
+  bool completed = true;
+};
+BicliqueEnumStats EnumerateMaximalBicliques(
+    const BipartiteGraph& g, const BicliqueEnumOptions& opts,
+    const std::function<bool(const Biplex&)>& cb);
+
+}  // namespace kbiplex
+
+#endif  // KBIPLEX_ANALYSIS_BICLIQUE_H_

@@ -1,0 +1,62 @@
+#include "analysis/metrics.h"
+
+#include <cassert>
+
+namespace kbiplex {
+namespace {
+
+BinaryMetrics FromCounts(size_t tp, size_t fp, size_t fn) {
+  BinaryMetrics m;
+  m.tp = tp;
+  m.fp = fp;
+  m.fn = fn;
+  if (tp + fp == 0) {
+    m.defined = false;  // nothing flagged: precision undefined ("ND")
+    return m;
+  }
+  m.defined = true;
+  m.precision = static_cast<double>(tp) / static_cast<double>(tp + fp);
+  m.recall = tp + fn == 0
+                 ? 0.0
+                 : static_cast<double>(tp) / static_cast<double>(tp + fn);
+  m.f1 = m.precision + m.recall == 0
+             ? 0.0
+             : 2 * m.precision * m.recall / (m.precision + m.recall);
+  return m;
+}
+
+void Accumulate(const std::vector<bool>& flagged,
+                const std::vector<bool>& truth, size_t* tp, size_t* fp,
+                size_t* fn) {
+  assert(flagged.size() == truth.size());
+  for (size_t i = 0; i < flagged.size(); ++i) {
+    if (flagged[i] && truth[i]) {
+      ++*tp;
+    } else if (flagged[i] && !truth[i]) {
+      ++*fp;
+    } else if (!flagged[i] && truth[i]) {
+      ++*fn;
+    }
+  }
+}
+
+}  // namespace
+
+BinaryMetrics ComputeMetrics(const std::vector<bool>& flagged,
+                             const std::vector<bool>& truth) {
+  size_t tp = 0, fp = 0, fn = 0;
+  Accumulate(flagged, truth, &tp, &fp, &fn);
+  return FromCounts(tp, fp, fn);
+}
+
+BinaryMetrics ComputeJointMetrics(const std::vector<bool>& flagged_a,
+                                  const std::vector<bool>& truth_a,
+                                  const std::vector<bool>& flagged_b,
+                                  const std::vector<bool>& truth_b) {
+  size_t tp = 0, fp = 0, fn = 0;
+  Accumulate(flagged_a, truth_a, &tp, &fp, &fn);
+  Accumulate(flagged_b, truth_b, &tp, &fp, &fn);
+  return FromCounts(tp, fp, fn);
+}
+
+}  // namespace kbiplex

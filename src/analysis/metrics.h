@@ -1,0 +1,37 @@
+// Binary classification metrics for the fraud-detection case study
+// (Section 6.3): precision, recall and F1 over flagged vertices.
+#ifndef KBIPLEX_ANALYSIS_METRICS_H_
+#define KBIPLEX_ANALYSIS_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace kbiplex {
+
+/// Precision/recall/F1 for one flagging. `defined` is false when nothing
+/// was flagged (the paper's "ND" cells).
+struct BinaryMetrics {
+  size_t tp = 0;
+  size_t fp = 0;
+  size_t fn = 0;
+  double precision = 0;
+  double recall = 0;
+  double f1 = 0;
+  bool defined = false;
+};
+
+/// Computes metrics of `flagged` against ground truth `truth`; the vectors
+/// must have equal length.
+BinaryMetrics ComputeMetrics(const std::vector<bool>& flagged,
+                             const std::vector<bool>& truth);
+
+/// Metrics over the concatenation of two item families (the paper flags
+/// users and products jointly).
+BinaryMetrics ComputeJointMetrics(const std::vector<bool>& flagged_a,
+                                  const std::vector<bool>& truth_a,
+                                  const std::vector<bool>& flagged_b,
+                                  const std::vector<bool>& truth_b);
+
+}  // namespace kbiplex
+
+#endif  // KBIPLEX_ANALYSIS_METRICS_H_

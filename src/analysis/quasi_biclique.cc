@@ -1,0 +1,164 @@
+#include "analysis/quasi_biclique.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kbiplex {
+namespace {
+
+/// Peeling state over a working copy of the graph restricted to `alive`
+/// vertices.
+struct PeelState {
+  std::vector<size_t> ldeg, rdeg;
+  std::vector<bool> lalive, ralive;
+  size_t nl_alive = 0, nr_alive = 0;
+};
+
+PeelState InitState(const BipartiteGraph& g,
+                    const std::vector<bool>& lremoved,
+                    const std::vector<bool>& rremoved) {
+  PeelState s;
+  s.ldeg.assign(g.NumLeft(), 0);
+  s.rdeg.assign(g.NumRight(), 0);
+  s.lalive.assign(g.NumLeft(), false);
+  s.ralive.assign(g.NumRight(), false);
+  for (VertexId v = 0; v < g.NumLeft(); ++v) {
+    s.lalive[v] = !lremoved[v];
+    if (s.lalive[v]) ++s.nl_alive;
+  }
+  for (VertexId u = 0; u < g.NumRight(); ++u) {
+    s.ralive[u] = !rremoved[u];
+    if (s.ralive[u]) ++s.nr_alive;
+  }
+  for (VertexId v = 0; v < g.NumLeft(); ++v) {
+    if (!s.lalive[v]) continue;
+    for (VertexId u : g.LeftNeighbors(v)) {
+      if (!s.ralive[u]) continue;
+      ++s.ldeg[v];
+      ++s.rdeg[u];
+    }
+  }
+  return s;
+}
+
+/// True iff the alive subgraph satisfies the δ-QB property and thresholds.
+bool SnapshotQualifies(const PeelState& s, double delta, size_t theta_l,
+                       size_t theta_r) {
+  if (s.nl_alive < theta_l || s.nr_alive < theta_r) return false;
+  const double lmiss_budget = delta * static_cast<double>(s.nr_alive);
+  const double rmiss_budget = delta * static_cast<double>(s.nl_alive);
+  for (size_t v = 0; v < s.lalive.size(); ++v) {
+    if (s.lalive[v] &&
+        static_cast<double>(s.nr_alive - s.ldeg[v]) > lmiss_budget) {
+      return false;
+    }
+  }
+  for (size_t u = 0; u < s.ralive.size(); ++u) {
+    if (s.ralive[u] &&
+        static_cast<double>(s.nl_alive - s.rdeg[u]) > rmiss_budget) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Biplex SnapshotToBiplex(const PeelState& s) {
+  Biplex b;
+  for (size_t v = 0; v < s.lalive.size(); ++v) {
+    if (s.lalive[v]) b.left.push_back(static_cast<VertexId>(v));
+  }
+  for (size_t u = 0; u < s.ralive.size(); ++u) {
+    if (s.ralive[u]) b.right.push_back(static_cast<VertexId>(u));
+  }
+  return b;
+}
+
+}  // namespace
+
+bool IsDeltaQuasiBiclique(const BipartiteGraph& g, const Biplex& b,
+                          double delta) {
+  const double lmiss_budget = delta * static_cast<double>(b.right.size());
+  const double rmiss_budget = delta * static_cast<double>(b.left.size());
+  for (VertexId v : b.left) {
+    if (static_cast<double>(g.DiscCount(Side::kLeft, v, b.right)) >
+        lmiss_budget) {
+      return false;
+    }
+  }
+  for (VertexId u : b.right) {
+    if (static_cast<double>(g.DiscCount(Side::kRight, u, b.left)) >
+        rmiss_budget) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Biplex> FindQuasiBicliqueBlocks(
+    const BipartiteGraph& g, const QuasiBicliqueOptions& opts) {
+  std::vector<Biplex> blocks;
+  std::vector<bool> lremoved(g.NumLeft(), false);
+  std::vector<bool> rremoved(g.NumRight(), false);
+
+  for (size_t round = 0; round < opts.max_blocks; ++round) {
+    PeelState s = InitState(g, lremoved, rremoved);
+    Biplex best;
+    bool found = false;
+    // Peel the globally min-relative-degree vertex until nothing is left;
+    // keep the last snapshot satisfying the δ-QB property (the densest
+    // surviving core of this round).
+    while (s.nl_alive > 0 && s.nr_alive > 0) {
+      if (SnapshotQualifies(s, opts.delta, opts.theta_left,
+                            opts.theta_right)) {
+        best = SnapshotToBiplex(s);
+        found = true;
+        break;  // snapshots only shrink from here; take the largest
+      }
+      // Remove the vertex with the largest relative miss ratio.
+      double worst = -1;
+      Side worst_side = Side::kLeft;
+      VertexId worst_v = kInvalidVertex;
+      for (size_t v = 0; v < s.lalive.size(); ++v) {
+        if (!s.lalive[v]) continue;
+        double miss = static_cast<double>(s.nr_alive - s.ldeg[v]) /
+                      std::max<double>(1, static_cast<double>(s.nr_alive));
+        if (miss > worst) {
+          worst = miss;
+          worst_side = Side::kLeft;
+          worst_v = static_cast<VertexId>(v);
+        }
+      }
+      for (size_t u = 0; u < s.ralive.size(); ++u) {
+        if (!s.ralive[u]) continue;
+        double miss = static_cast<double>(s.nl_alive - s.rdeg[u]) /
+                      std::max<double>(1, static_cast<double>(s.nl_alive));
+        if (miss > worst) {
+          worst = miss;
+          worst_side = Side::kRight;
+          worst_v = static_cast<VertexId>(u);
+        }
+      }
+      if (worst_v == kInvalidVertex) break;
+      if (worst_side == Side::kLeft) {
+        s.lalive[worst_v] = false;
+        --s.nl_alive;
+        for (VertexId u : g.LeftNeighbors(worst_v)) {
+          if (s.ralive[u]) --s.rdeg[u];
+        }
+      } else {
+        s.ralive[worst_v] = false;
+        --s.nr_alive;
+        for (VertexId v : g.RightNeighbors(worst_v)) {
+          if (s.lalive[v]) --s.ldeg[v];
+        }
+      }
+    }
+    if (!found) break;
+    for (VertexId v : best.left) lremoved[v] = true;
+    for (VertexId u : best.right) rremoved[u] = true;
+    blocks.push_back(std::move(best));
+  }
+  return blocks;
+}
+
+}  // namespace kbiplex

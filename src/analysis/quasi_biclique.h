@@ -1,0 +1,39 @@
+// δ-quasi-biclique detection for the fraud case study. A subgraph (L', R')
+// is a δ-quasi-biclique iff every left member misses at most δ·|R'| right
+// members and every right member misses at most δ·|L'| left members.
+// Finding maximum δ-QBs is NP-hard and the structure is not hereditary, so
+// — like the practical systems the paper references — we detect dense
+// blocks with a greedy peeling heuristic and verify the δ-QB property
+// exactly on each reported block (documented substitution; see DESIGN.md).
+#ifndef KBIPLEX_ANALYSIS_QUASI_BICLIQUE_H_
+#define KBIPLEX_ANALYSIS_QUASI_BICLIQUE_H_
+
+#include <vector>
+
+#include "core/biplex.h"
+#include "graph/bipartite_graph.h"
+
+namespace kbiplex {
+
+/// Exact δ-quasi-biclique predicate.
+bool IsDeltaQuasiBiclique(const BipartiteGraph& g, const Biplex& b,
+                          double delta);
+
+/// Options of the greedy block detector.
+struct QuasiBicliqueOptions {
+  double delta = 0.2;
+  size_t theta_left = 4;
+  size_t theta_right = 4;
+  /// Extract at most this many disjoint blocks.
+  size_t max_blocks = 8;
+};
+
+/// Finds vertex-disjoint δ-QB blocks meeting the size thresholds: peel
+/// minimum-degree vertices and keep the last snapshot that satisfies the
+/// δ-QB property, then remove it and repeat.
+std::vector<Biplex> FindQuasiBicliqueBlocks(const BipartiteGraph& g,
+                                            const QuasiBicliqueOptions& opts);
+
+}  // namespace kbiplex
+
+#endif  // KBIPLEX_ANALYSIS_QUASI_BICLIQUE_H_

@@ -1,0 +1,125 @@
+#include "baselines/imb.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace kbiplex {
+namespace {
+
+/// A side-tagged vertex encoded in one integer: left ids stay as-is, right
+/// ids are shifted by |L|.
+class ImbEnumerator {
+ public:
+  ImbEnumerator(const BipartiteGraph& g, const ImbOptions& opts,
+                const ImbCallback& cb)
+      : g_(g),
+        opts_(opts),
+        cb_(cb),
+        deadline_(opts.time_budget_seconds),
+        num_left_(static_cast<VertexId>(g.NumLeft())) {}
+
+  ImbStats Run() {
+    WallTimer timer;
+    std::vector<VertexId> p_set(g_.NumLeft() + g_.NumRight());
+    for (size_t i = 0; i < p_set.size(); ++i) {
+      p_set[i] = static_cast<VertexId>(i);
+    }
+    Recurse(p_set, {});
+    if (stop_) stats_.completed = false;
+    stats_.seconds = timer.ElapsedSeconds();
+    return stats_;
+  }
+
+ private:
+  Side SideOf(VertexId x) const {
+    return x < num_left_ ? Side::kLeft : Side::kRight;
+  }
+  VertexId IdOf(VertexId x) const {
+    return x < num_left_ ? x : x - num_left_;
+  }
+
+  bool Addable(VertexId x) const {
+    return CanAdd(g_, cur_, SideOf(x), IdOf(x), opts_.k);
+  }
+
+  void Add(VertexId x) {
+    sorted::Insert(&cur_.MutableSideSet(SideOf(x)), IdOf(x));
+  }
+  void Remove(VertexId x) {
+    sorted::Erase(&cur_.MutableSideSet(SideOf(x)), IdOf(x));
+  }
+
+  void Report() {
+    if (cur_.left.size() < opts_.theta_left ||
+        cur_.right.size() < opts_.theta_right) {
+      return;
+    }
+    ++stats_.solutions;
+    if (!cb_(cur_)) stop_ = true;
+    if (opts_.max_results != 0 && stats_.solutions >= opts_.max_results) {
+      stop_ = true;
+    }
+  }
+
+  void Recurse(const std::vector<VertexId>& p_set,
+               const std::vector<VertexId>& x_set) {
+    if (stop_) return;
+    if ((++stats_.nodes & 0x3ffu) == 0 && deadline_.Expired()) {
+      stop_ = true;
+      return;
+    }
+    if (p_set.empty()) {
+      if (x_set.empty()) Report();
+      return;
+    }
+    // iMB size pruning: the current branch can never reach the thresholds.
+    if (opts_.theta_left > 0 || opts_.theta_right > 0) {
+      size_t cand_left = 0;
+      size_t cand_right = 0;
+      for (VertexId x : p_set) {
+        (SideOf(x) == Side::kLeft ? cand_left : cand_right) += 1;
+      }
+      if (cur_.left.size() + cand_left < opts_.theta_left ||
+          cur_.right.size() + cand_right < opts_.theta_right) {
+        return;
+      }
+    }
+    for (size_t i = 0; i < p_set.size() && !stop_; ++i) {
+      const VertexId v = p_set[i];
+      Add(v);
+      std::vector<VertexId> p_next;
+      std::vector<VertexId> x_next;
+      for (size_t j = i + 1; j < p_set.size(); ++j) {
+        if (Addable(p_set[j])) p_next.push_back(p_set[j]);
+      }
+      for (VertexId x : x_set) {
+        if (Addable(x)) x_next.push_back(x);
+      }
+      for (size_t j = 0; j < i; ++j) {
+        if (Addable(p_set[j])) x_next.push_back(p_set[j]);
+      }
+      Recurse(p_next, x_next);
+      Remove(v);
+    }
+  }
+
+  const BipartiteGraph& g_;
+  const ImbOptions& opts_;
+  const ImbCallback& cb_;
+  Deadline deadline_;
+  const VertexId num_left_;
+  ImbStats stats_;
+  bool stop_ = false;
+  Biplex cur_;
+};
+
+}  // namespace
+
+ImbStats RunImb(const BipartiteGraph& g, const ImbOptions& opts,
+                const ImbCallback& cb) {
+  ImbEnumerator e(g, opts, cb);
+  return e.Run();
+}
+
+}  // namespace kbiplex

@@ -1,0 +1,49 @@
+// iMB-style baseline: backtracking set-enumeration of maximal k-biplexes
+// directly on the bipartite graph (Sim et al. / Yu et al.), with the size
+// -constraint pruning that iMB relies on for large-MBP workloads.
+//
+// The enumerator explores the set-enumeration tree over all vertices (left
+// and right) with candidate and exclusion sets; every maximal k-biplex is
+// reported exactly once, but — exactly like the published iMB — the delay
+// between consecutive outputs is exponential in the worst case, and
+// without effective size constraints it does not scale (Figure 7).
+#ifndef KBIPLEX_BASELINES_IMB_H_
+#define KBIPLEX_BASELINES_IMB_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "core/biplex.h"
+#include "graph/bipartite_graph.h"
+
+namespace kbiplex {
+
+/// Options of one iMB run.
+struct ImbOptions {
+  int k = 1;
+  /// Report only MBPs with |L'| >= theta_left and |R'| >= theta_right and
+  /// prune branches that cannot reach these sizes (iMB's key pruning).
+  size_t theta_left = 0;
+  size_t theta_right = 0;
+  uint64_t max_results = 0;
+  double time_budget_seconds = 0;
+};
+
+/// Work counters.
+struct ImbStats {
+  uint64_t nodes = 0;
+  uint64_t solutions = 0;
+  bool completed = true;
+  double seconds = 0;
+};
+
+/// Receives each maximal k-biplex; return false to stop.
+using ImbCallback = std::function<bool(const Biplex&)>;
+
+/// Runs the iMB-style enumeration.
+ImbStats RunImb(const BipartiteGraph& g, const ImbOptions& opts,
+                const ImbCallback& cb);
+
+}  // namespace kbiplex
+
+#endif  // KBIPLEX_BASELINES_IMB_H_

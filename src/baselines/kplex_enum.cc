@@ -1,0 +1,152 @@
+#include "baselines/kplex_enum.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace kbiplex {
+namespace {
+
+/// Recursive enumerator with incremental connection counters.
+class KPlexEnumerator {
+ public:
+  KPlexEnumerator(const GeneralGraph& g, const KPlexEnumOptions& opts,
+                  const KPlexCallback& cb)
+      : g_(g),
+        opts_(opts),
+        cb_(cb),
+        p_(static_cast<size_t>(opts.p)),
+        deadline_(opts.time_budget_seconds),
+        conn_r_(g.NumVertices(), 0) {}
+
+  KPlexEnumStats Run() {
+    std::vector<VertexId> p_set;
+    std::vector<VertexId> x_set;
+    if (opts_.must_contain != kInvalidVertex) {
+      AddToR(opts_.must_contain);
+      for (VertexId u = 0; u < g_.NumVertices(); ++u) {
+        if (u != opts_.must_contain && Addable(u)) p_set.push_back(u);
+      }
+    } else {
+      p_set.resize(g_.NumVertices());
+      for (VertexId u = 0; u < g_.NumVertices(); ++u) p_set[u] = u;
+    }
+    Recurse(p_set, x_set);
+    if (stop_) stats_.completed = false;
+    return stats_;
+  }
+
+ private:
+  /// miss(v) within R for a member v: |R| - |Γ(v) ∩ R| (self counts).
+  size_t MissInR(VertexId v) const { return r_.size() - conn_r_[v]; }
+
+  /// Can `u` (not in R) join R with the p-plex property preserved?
+  bool Addable(VertexId u) const {
+    // u's own budget: miss within R ∪ {u} is |R| + 1 - conn_r_[u].
+    if (r_.size() + 1 - conn_r_[u] > p_) return false;
+    // Saturated members disconnected from u would overflow.
+    auto nb = g_.Neighbors(u);
+    for (VertexId w : r_) {
+      if (MissInR(w) == p_ &&
+          !std::binary_search(nb.begin(), nb.end(), w)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void AddToR(VertexId v) {
+    r_.push_back(v);
+    for (VertexId w : g_.Neighbors(v)) ++conn_r_[w];
+  }
+
+  void RemoveFromR() {
+    VertexId v = r_.back();
+    r_.pop_back();
+    for (VertexId w : g_.Neighbors(v)) --conn_r_[w];
+  }
+
+  void Report() {
+    if (r_.size() < opts_.min_size) return;
+    std::vector<VertexId> sorted = r_;
+    std::sort(sorted.begin(), sorted.end());
+    ++stats_.solutions;
+    if (!cb_(sorted)) stop_ = true;
+    if (opts_.max_results != 0 && stats_.solutions >= opts_.max_results) {
+      stop_ = true;
+    }
+  }
+
+  void Recurse(const std::vector<VertexId>& p_set,
+               const std::vector<VertexId>& x_set) {
+    if (stop_) return;
+    if ((++stats_.nodes & 0x3ffu) == 0 && deadline_.Expired()) {
+      stop_ = true;
+      return;
+    }
+    if (p_set.empty()) {
+      if (x_set.empty()) Report();
+      return;
+    }
+    if (r_.size() + p_set.size() < opts_.min_size) return;  // size prune
+    for (size_t i = 0; i < p_set.size() && !stop_; ++i) {
+      const VertexId v = p_set[i];
+      AddToR(v);
+      std::vector<VertexId> p_next;
+      std::vector<VertexId> x_next;
+      for (size_t j = i + 1; j < p_set.size(); ++j) {
+        if (Addable(p_set[j])) p_next.push_back(p_set[j]);
+      }
+      for (VertexId x : x_set) {
+        if (Addable(x)) x_next.push_back(x);
+      }
+      // Earlier branches of this loop own the maximal sets containing
+      // their vertices; keep them as exclusions.
+      for (size_t j = 0; j < i; ++j) {
+        if (Addable(p_set[j])) x_next.push_back(p_set[j]);
+      }
+      Recurse(p_next, x_next);
+      RemoveFromR();
+    }
+  }
+
+  const GeneralGraph& g_;
+  const KPlexEnumOptions& opts_;
+  const KPlexCallback& cb_;
+  const size_t p_;
+  Deadline deadline_;
+  KPlexEnumStats stats_;
+  bool stop_ = false;
+  std::vector<VertexId> r_;
+  std::vector<uint32_t> conn_r_;
+};
+
+}  // namespace
+
+KPlexEnumStats EnumerateMaximalKPlexes(const GeneralGraph& g,
+                                       const KPlexEnumOptions& opts,
+                                       const KPlexCallback& cb) {
+  KPlexEnumerator e(g, opts, cb);
+  return e.Run();
+}
+
+bool IsKPlex(const GeneralGraph& g, const std::vector<VertexId>& s, int p) {
+  for (VertexId v : s) {
+    if (s.size() - g.ConnCount(v, s) > static_cast<size_t>(p)) return false;
+  }
+  return true;
+}
+
+bool IsMaximalKPlex(const GeneralGraph& g, const std::vector<VertexId>& s,
+                    int p) {
+  if (!IsKPlex(g, s, p)) return false;
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    if (std::binary_search(s.begin(), s.end(), u)) continue;
+    std::vector<VertexId> t = s;
+    sorted::Insert(&t, u);
+    if (IsKPlex(g, t, p)) return false;
+  }
+  return true;
+}
+
+}  // namespace kbiplex

@@ -1,0 +1,65 @@
+// Maximal k-plex enumeration on general graphs via Bron–Kerbosch-style
+// set enumeration. This is the reimplementation of the FaPlexen-style
+// baseline: combined with graph inflation it enumerates maximal k-biplexes
+// (a k-biplex of a bipartite graph is a (k+1)-plex of its inflation), and
+// it also implements the paper's "Inflation" variant of EnumAlmostSat.
+//
+// A set S is a p-plex iff every v in S has at most p non-neighbors inside
+// S counting v itself, i.e. deg_S(v) >= |S| - p. The property is
+// hereditary, so the candidate/exclusion-set scheme of Bron–Kerbosch
+// enumerates every maximal p-plex exactly once; like the published
+// baselines it has exponential delay in the worst case.
+#ifndef KBIPLEX_BASELINES_KPLEX_ENUM_H_
+#define KBIPLEX_BASELINES_KPLEX_ENUM_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/general_graph.h"
+#include "util/common.h"
+
+namespace kbiplex {
+
+/// Options of one enumeration run.
+struct KPlexEnumOptions {
+  /// Plex number p (>= 1). p = 1 enumerates maximal cliques.
+  int p = 2;
+  /// If not kInvalidVertex, enumerate only maximal p-plexes containing
+  /// this vertex (used for local-solution enumeration).
+  VertexId must_contain = kInvalidVertex;
+  /// Report only p-plexes with at least this many vertices, and prune
+  /// branches that cannot reach it.
+  size_t min_size = 0;
+  /// Stop after this many reported sets (0 = all).
+  uint64_t max_results = 0;
+  /// Wall-clock budget in seconds (0 = unlimited).
+  double time_budget_seconds = 0;
+};
+
+/// Work counters.
+struct KPlexEnumStats {
+  uint64_t nodes = 0;      // recursion-tree nodes
+  uint64_t solutions = 0;  // maximal p-plexes reported
+  bool completed = true;
+};
+
+/// Receives each maximal p-plex as a sorted vertex vector; return false to
+/// stop.
+using KPlexCallback = std::function<bool(const std::vector<VertexId>&)>;
+
+/// Enumerates maximal p-plexes of `g`.
+KPlexEnumStats EnumerateMaximalKPlexes(const GeneralGraph& g,
+                                       const KPlexEnumOptions& opts,
+                                       const KPlexCallback& cb);
+
+/// True iff `s` (sorted) is a p-plex of `g`.
+bool IsKPlex(const GeneralGraph& g, const std::vector<VertexId>& s, int p);
+
+/// True iff `s` is a p-plex and no vertex can be added.
+bool IsMaximalKPlex(const GeneralGraph& g, const std::vector<VertexId>& s,
+                    int p);
+
+}  // namespace kbiplex
+
+#endif  // KBIPLEX_BASELINES_KPLEX_ENUM_H_

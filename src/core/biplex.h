@@ -1,0 +1,143 @@
+// The k-biplex vocabulary: vertex-pair subgraphs, k-biplex / maximality
+// predicates, canonical key encoding, and deterministic extension of a
+// k-biplex to a maximal one ("Step 3" of the paper's ThreeStep procedure).
+#ifndef KBIPLEX_CORE_BIPLEX_H_
+#define KBIPLEX_CORE_BIPLEX_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "util/common.h"
+
+namespace kbiplex {
+
+/// Per-side disconnection budgets of a (possibly asymmetric) biplex: every
+/// left member may disconnect at most `left` right members and every right
+/// member at most `right` left members. The paper notes (Section 2) that
+/// "it is possible to use different k's at different sides and the
+/// techniques developed in this paper can be easily adapted"; this library
+/// implements that generalization throughout.
+struct KPair {
+  int left = 1;
+  int right = 1;
+
+  static KPair Uniform(int k) { return {k, k}; }
+
+  /// Budget of the members of side `s`.
+  int ForSide(Side s) const { return s == Side::kLeft ? left : right; }
+
+  bool IsUniform() const { return left == right; }
+
+  friend bool operator==(const KPair& a, const KPair& b) {
+    return a.left == b.left && a.right == b.right;
+  }
+};
+
+/// An induced bipartite subgraph identified by its two vertex sets, both
+/// sorted ascending. The graph it lives in is supplied to the predicates.
+struct Biplex {
+  std::vector<VertexId> left;
+  std::vector<VertexId> right;
+
+  size_t Size() const { return left.size() + right.size(); }
+
+  /// The vertex set of the side `s`.
+  const std::vector<VertexId>& SideSet(Side s) const {
+    return s == Side::kLeft ? left : right;
+  }
+  std::vector<VertexId>& MutableSideSet(Side s) {
+    return s == Side::kLeft ? left : right;
+  }
+
+  friend bool operator==(const Biplex& a, const Biplex& b) {
+    return a.left == b.left && a.right == b.right;
+  }
+  friend bool operator<(const Biplex& a, const Biplex& b) {
+    return a.left != b.left ? a.left < b.left : a.right < b.right;
+  }
+};
+
+/// Serializes a biplex into a canonical byte key: 4-byte big-endian |L|
+/// followed by big-endian ids of L then R. Big-endian keeps byte-wise
+/// lexicographic comparisons consistent with numeric order, so the
+/// B-tree solution store iterates solutions in a meaningful order.
+std::string EncodeBiplexKey(const Biplex& b);
+
+/// Inverse of EncodeBiplexKey.
+Biplex DecodeBiplexKey(std::string_view key);
+
+/// True iff G[L ∪ R] is a k-biplex (Definition 2.1): every left member
+/// disconnects at most k.left members of R and every right member at most
+/// k.right members of L.
+bool IsKBiplex(const BipartiteGraph& g, const Biplex& b, KPair k);
+inline bool IsKBiplex(const BipartiteGraph& g, const Biplex& b, int k) {
+  return IsKBiplex(g, b, KPair::Uniform(k));
+}
+
+/// True iff `b` is a k-biplex of `g` and no single vertex of g can be added
+/// while preserving the k-biplex property. By the hereditary property this
+/// is exactly maximality (Definition 2.3).
+bool IsMaximalKBiplex(const BipartiteGraph& g, const Biplex& b, KPair k);
+inline bool IsMaximalKBiplex(const BipartiteGraph& g, const Biplex& b,
+                             int k) {
+  return IsMaximalKBiplex(g, b, KPair::Uniform(k));
+}
+
+/// True iff vertex `v` on side `side` can join the k-biplex `b` (which must
+/// be a k-biplex) with the property preserved.
+bool CanAdd(const BipartiteGraph& g, const Biplex& b, Side side, VertexId v,
+            KPair k);
+inline bool CanAdd(const BipartiteGraph& g, const Biplex& b, Side side,
+                   VertexId v, int k) {
+  return CanAdd(g, b, side, v, KPair::Uniform(k));
+}
+
+/// Deterministically extends a k-biplex to a maximal one by a single pass
+/// over a preset vertex order (ascending left ids, then ascending right
+/// ids), adding every vertex that preserves the property. Because the
+/// k-biplex family is hereditary, constraints only tighten as the set
+/// grows, so one pass yields a maximal k-biplex and the result is a
+/// function of the seed alone — the determinism Step 3 of ThreeStep
+/// requires.
+class MaximalExtender {
+ public:
+  /// `g` must outlive the extender.
+  MaximalExtender(const BipartiteGraph& g, KPair k);
+  MaximalExtender(const BipartiteGraph& g, int k)
+      : MaximalExtender(g, KPair::Uniform(k)) {}
+
+  /// Extends `b` in place. `grow_left` / `grow_right` select which sides
+  /// may receive vertices (iTraversal's Step 3 grows the left side only).
+  void Extend(Biplex* b, bool grow_left, bool grow_right) const;
+
+  /// Appends to `out` every vertex of side `side` that can currently join
+  /// `b`. Used by maximality checks and the right-shrinking filter.
+  void AppendAddableVertices(const Biplex& b, Side side,
+                             std::vector<VertexId>* out,
+                             bool stop_at_first = false) const;
+
+  /// True iff some vertex of side `side` outside `b` can join `b`.
+  bool AnyAddable(const Biplex& b, Side side) const;
+
+ private:
+  // Collects candidate vertices of `side` with enough connections into the
+  // opposite member set of `b` to possibly join (δ(v, other) >= |other|-k).
+  void CollectCandidates(const Biplex& b, Side side,
+                         std::vector<VertexId>* out) const;
+
+  // One growth pass of Extend over `side`, with incremental budget
+  // tracking of the opposite side's members.
+  void ExtendSide(Biplex* b, Side side) const;
+
+  const BipartiteGraph& g_;
+  KPair k_;
+  // Scratch: connection counters indexed by vertex id, one per side.
+  mutable std::vector<uint32_t> conn_count_[2];
+  mutable std::vector<VertexId> touched_[2];
+};
+
+}  // namespace kbiplex
+
+#endif  // KBIPLEX_CORE_BIPLEX_H_

@@ -1,0 +1,29 @@
+// Exhaustive reference enumerator: ground truth for every property test.
+#ifndef KBIPLEX_CORE_BRUTE_FORCE_H_
+#define KBIPLEX_CORE_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "core/biplex.h"
+#include "graph/bipartite_graph.h"
+
+namespace kbiplex {
+
+/// Enumerates every maximal k-biplex of `g` by checking all 2^(|L|+|R|)
+/// vertex-set pairs. Requires |L| <= 20 and |R| <= 20 and is intended for
+/// graphs with at most ~16 vertices total. Results are sorted.
+std::vector<Biplex> BruteForceMaximalBiplexes(const BipartiteGraph& g,
+                                              KPair k);
+inline std::vector<Biplex> BruteForceMaximalBiplexes(const BipartiteGraph& g,
+                                                     int k) {
+  return BruteForceMaximalBiplexes(g, KPair::Uniform(k));
+}
+
+/// Filters `solutions` to those with |L| >= theta_left and
+/// |R| >= theta_right (the "large MBPs" of Section 5).
+std::vector<Biplex> FilterBySize(const std::vector<Biplex>& solutions,
+                                 size_t theta_left, size_t theta_right);
+
+}  // namespace kbiplex
+
+#endif  // KBIPLEX_CORE_BRUTE_FORCE_H_

@@ -1,0 +1,70 @@
+#include "core/btraversal.h"
+
+#include <algorithm>
+
+namespace kbiplex {
+
+TraversalOptions MakeBTraversalOptions(int k) {
+  TraversalOptions opts;
+  opts.k = KPair::Uniform(k);
+  opts.left_anchored = false;
+  opts.right_shrinking = false;
+  opts.exclusion = false;
+  return opts;
+}
+
+TraversalOptions MakeITraversalOptions(int k) {
+  TraversalOptions opts;
+  opts.k = KPair::Uniform(k);
+  opts.left_anchored = true;
+  opts.right_shrinking = true;
+  opts.exclusion = true;
+  return opts;
+}
+
+TraversalOptions MakeITraversalNoExclusionOptions(int k) {
+  TraversalOptions opts = MakeITraversalOptions(k);
+  opts.exclusion = false;
+  return opts;
+}
+
+TraversalOptions MakeITraversalLeftAnchoredOnlyOptions(int k) {
+  TraversalOptions opts = MakeITraversalOptions(k);
+  opts.exclusion = false;
+  opts.right_shrinking = false;
+  return opts;
+}
+
+std::string TraversalConfigName(const TraversalOptions& opts) {
+  if (!opts.left_anchored && !opts.right_shrinking && !opts.exclusion) {
+    return "bTraversal";
+  }
+  if (opts.left_anchored && opts.right_shrinking && opts.exclusion) {
+    return "iTraversal";
+  }
+  if (opts.left_anchored && opts.right_shrinking) return "iTraversal-ES";
+  if (opts.left_anchored) return "iTraversal-ES-RS";
+  return "custom";
+}
+
+TraversalStats RunTraversal(const BipartiteGraph& g,
+                            const TraversalOptions& opts,
+                            const SolutionCallback& cb) {
+  TraversalEngine engine(g, opts);
+  return engine.Run(cb);
+}
+
+std::vector<Biplex> CollectSolutions(const BipartiteGraph& g,
+                                     const TraversalOptions& opts,
+                                     TraversalStats* stats) {
+  std::vector<Biplex> out;
+  TraversalStats s = RunTraversal(g, opts, [&](const Biplex& b) {
+    out.push_back(b);
+    return true;
+  });
+  if (stats != nullptr) *stats = s;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace kbiplex

@@ -1,0 +1,45 @@
+// Named configurations of the traversal engine: bTraversal (Algorithm 1),
+// iTraversal (Algorithm 2), and the ablation points in between that
+// Figure 11 compares.
+#ifndef KBIPLEX_CORE_BTRAVERSAL_H_
+#define KBIPLEX_CORE_BTRAVERSAL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/itraversal.h"
+#include "core/traversal_options.h"
+
+namespace kbiplex {
+
+/// The conventional reverse-search framework: arbitrary initial solution,
+/// almost-satisfying graphs from both sides, no link pruning.
+TraversalOptions MakeBTraversalOptions(int k);
+
+/// iTraversal with all three techniques (left-anchored, right-shrinking,
+/// exclusion).
+TraversalOptions MakeITraversalOptions(int k);
+
+/// iTraversal-ES: without the exclusion strategy.
+TraversalOptions MakeITraversalNoExclusionOptions(int k);
+
+/// iTraversal-ES-RS: left-anchored traversal only.
+TraversalOptions MakeITraversalLeftAnchoredOnlyOptions(int k);
+
+/// Human-readable name of a configuration ("bTraversal", "iTraversal",
+/// "iTraversal-ES", "iTraversal-ES-RS", or "custom").
+std::string TraversalConfigName(const TraversalOptions& opts);
+
+/// Runs the engine once and returns its stats; solutions go to `cb`.
+TraversalStats RunTraversal(const BipartiteGraph& g,
+                            const TraversalOptions& opts,
+                            const SolutionCallback& cb);
+
+/// Runs the engine once and returns all emitted solutions, sorted.
+std::vector<Biplex> CollectSolutions(const BipartiteGraph& g,
+                                     const TraversalOptions& opts,
+                                     TraversalStats* stats = nullptr);
+
+}  // namespace kbiplex
+
+#endif  // KBIPLEX_CORE_BTRAVERSAL_H_

@@ -1,0 +1,70 @@
+// Delay instrumentation (Figure 8): the delay of an enumeration algorithm
+// is the maximum of (1) time to the first output, (2) time between
+// consecutive outputs, and (3) time from the last output to termination.
+#ifndef KBIPLEX_CORE_DELAY_TRACKER_H_
+#define KBIPLEX_CORE_DELAY_TRACKER_H_
+
+#include <cstdint>
+
+#include "util/timer.h"
+
+namespace kbiplex {
+
+/// Records output timestamps and reports the realized delay statistics.
+class DelayTracker {
+ public:
+  DelayTracker() = default;
+
+  /// Marks the start of the enumeration (construction also does this).
+  void Start() {
+    timer_.Reset();
+    last_event_ = 0;
+    max_delay_ = 0;
+    total_gap_ = 0;
+    outputs_ = 0;
+    finished_ = false;
+  }
+
+  /// Call on every emitted solution.
+  void RecordOutput() {
+    const double now = timer_.ElapsedSeconds();
+    Observe(now - last_event_);
+    last_event_ = now;
+    ++outputs_;
+  }
+
+  /// Call when the algorithm terminates.
+  void Finish() {
+    if (finished_) return;
+    finished_ = true;
+    Observe(timer_.ElapsedSeconds() - last_event_);
+  }
+
+  /// Largest observed gap (the paper's "delay").
+  double MaxDelaySeconds() const { return max_delay_; }
+
+  /// Mean gap between events (outputs plus termination).
+  double MeanDelaySeconds() const {
+    const uint64_t gaps = outputs_ + (finished_ ? 1 : 0);
+    return gaps == 0 ? 0.0 : total_gap_ / static_cast<double>(gaps);
+  }
+
+  uint64_t outputs() const { return outputs_; }
+
+ private:
+  void Observe(double gap) {
+    if (gap > max_delay_) max_delay_ = gap;
+    total_gap_ += gap;
+  }
+
+  WallTimer timer_;
+  double last_event_ = 0;
+  double max_delay_ = 0;
+  double total_gap_ = 0;
+  uint64_t outputs_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace kbiplex
+
+#endif  // KBIPLEX_CORE_DELAY_TRACKER_H_

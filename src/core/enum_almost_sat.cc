@@ -1,0 +1,295 @@
+#include "core/enum_almost_sat.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/subset_enum.h"
+
+namespace kbiplex {
+namespace {
+
+/// Edge test between `a` on side `a_side` and `u` on the opposite side.
+bool Adjacent(const BipartiteGraph& g, Side a_side, VertexId a, VertexId u) {
+  return a_side == Side::kLeft ? g.HasEdge(a, u) : g.HasEdge(u, a);
+}
+
+/// All state of one EnumAlmostSat invocation. A is the anchored side (the
+/// side of v), B the opposite side.
+class AlmostSatEnumerator {
+ public:
+  AlmostSatEnumerator(const BipartiteGraph& g, const Biplex& h, Side v_side,
+                      VertexId v, KPair k, const EnumAlmostSatOptions& opts,
+                      const LocalSolutionCallback& cb,
+                      EnumAlmostSatStats* stats)
+      : g_(g),
+        v_side_(v_side),
+        v_(v),
+        ka_(static_cast<size_t>(k.ForSide(v_side))),
+        kb_(static_cast<size_t>(k.ForSide(Opposite(v_side)))),
+        opts_(opts),
+        cb_(cb),
+        stats_(stats),
+        a_(h.SideSet(v_side)),
+        b_(h.SideSet(Opposite(v_side))) {}
+
+  /// Runs the enumeration; false iff the callback stopped it.
+  bool Run() {
+    Prepare();
+    // Enumerate B'' = B''_1 ∪ B''_2 with |B''| <= k (refinement R1.0); under
+    // R2.0 additionally require |B''| = k or B''_1 = B1 (Lemma 4.2).
+    for (size_t s2 = 0; s2 <= std::min(ka_, b2_.size()); ++s2) {
+      for (size_t s1 = 0; s1 + s2 <= ka_ && s1 <= b1_.size(); ++s1) {
+        if (opts_.r_variant == RRefinement::kR20 && s1 + s2 < ka_ &&
+            s1 < b1_.size()) {
+          continue;  // pruned by Lemma 4.2
+        }
+        bool go = ForEachCombination(
+            b1_.size(), s1, [&](const std::vector<size_t>& c1) {
+              return ForEachCombination(
+                  b2_.size(), s2, [&](const std::vector<size_t>& c2) {
+                    return ProcessBSubset(c1, c2);
+                  });
+            });
+        if (!go) return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  /// Partitions B into B_keep / B1 / B2 and precomputes disconnection
+  /// counters (the O(|A|·|B|) preprocessing of Algorithm 3, line 1).
+  void Prepare() {
+    disc_a_of_b_.resize(b_.size());
+    v_adj_b_.resize(b_.size());
+    for (size_t i = 0; i < b_.size(); ++i) {
+      const VertexId u = b_[i];
+      disc_a_of_b_[i] = a_.size() - g_.ConnCount(Opposite(v_side_), u, a_);
+      assert(disc_a_of_b_[i] <= kb_);  // (A, B) is a k-biplex
+      v_adj_b_[i] = Adjacent(g_, v_side_, v_, u);
+      if (v_adj_b_[i]) {
+        b_keep_.push_back(u);
+      } else if (disc_a_of_b_[i] <= kb_ - 1) {
+        b1_.push_back(i);  // store index into B
+      } else {
+        b2_.push_back(i);
+      }
+    }
+    disc_keep_of_a_.resize(a_.size());
+    for (size_t j = 0; j < a_.size(); ++j) {
+      disc_keep_of_a_[j] =
+          b_keep_.size() - g_.ConnCount(v_side_, a_[j], b_keep_);
+    }
+    if (opts_.excluded_anchored != nullptr &&
+        opts_.excluded_anchored->size() != 0) {
+      for (size_t j = 0; j < a_.size(); ++j) {
+        if (opts_.excluded_anchored->Test(a_[j])) {
+          excluded_a_idx_.push_back(j);
+        }
+      }
+    }
+  }
+
+  /// Number of vertices in `a_indices` (indices into A) disconnected from
+  /// right-role vertex `u`.
+  size_t DiscWithin(const std::vector<size_t>& a_indices, VertexId u) const {
+    size_t n = 0;
+    for (size_t j : a_indices) {
+      if (!Adjacent(g_, v_side_, a_[j], u)) ++n;
+    }
+    return n;
+  }
+
+  /// Handles one B'' choice; returns false iff the callback stopped.
+  bool ProcessBSubset(const std::vector<size_t>& c1,
+                      const std::vector<size_t>& c2) {
+    if (stats_ != nullptr) ++stats_->b_subsets;
+    if (opts_.deadline != nullptr && (++deadline_poll_ & 0x3fu) == 0 &&
+        opts_.deadline->Expired()) {
+      return false;  // abort: the engine re-checks its own budget
+    }
+    // Materialize B'' (ids) and B''_2 (ids), both sorted.
+    bpp_.clear();
+    bpp2_.clear();
+    for (size_t i : c1) bpp_.push_back(b_[b1_[i]]);
+    for (size_t i : c2) {
+      bpp_.push_back(b_[b2_[i]]);
+      bpp2_.push_back(b_[b2_[i]]);
+    }
+    std::sort(bpp_.begin(), bpp_.end());
+    // B' = B_keep ∪ B''.
+    bp_ = sorted::Union(b_keep_, bpp_);
+    if (bp_.size() < opts_.min_b_size) return true;  // Section 5 prune
+
+    // A_remo: members of A disconnected from at least one vertex of B''_2
+    // (indices into A). Removal sets are bounded by |B''_2| (Lemma 4.3).
+    a_remo_.clear();
+    if (!bpp2_.empty()) {
+      for (size_t j = 0; j < a_.size(); ++j) {
+        if (g_.ConnCount(v_side_, a_[j], bpp2_) < bpp2_.size()) {
+          a_remo_.push_back(j);
+        }
+      }
+    }
+    // Exclusion-driven required removals: every excluded A-member must be
+    // removed, or all local solutions of this B'' retain it and would be
+    // pruned by the traversal's exclusion strategy anyway.
+    req_.clear();
+    if (!excluded_a_idx_.empty()) {
+      for (size_t j : excluded_a_idx_) {
+        if (!std::binary_search(a_remo_.begin(), a_remo_.end(), j)) {
+          return true;  // not removable within this B'': skip it entirely
+        }
+        req_.push_back(j);
+      }
+      if (req_.size() > bpp2_.size()) return true;  // removal budget
+    }
+    rest_.clear();
+    std::set_difference(a_remo_.begin(), a_remo_.end(), req_.begin(),
+                        req_.end(), std::back_inserter(rest_));
+    BoundedSubsetEnumerator en(rest_.size(), bpp2_.size() - req_.size());
+    while (en.Next()) {
+      if (stats_ != nullptr) ++stats_->a_subsets;
+      // Removal set as indices into A: forced removals plus the chosen
+      // subset of the remaining eligible members.
+      abar_.clear();
+      for (size_t pos : en.current()) abar_.push_back(rest_[pos]);
+      if (!req_.empty()) {
+        std::vector<size_t> merged;
+        merged.reserve(abar_.size() + req_.size());
+        std::merge(abar_.begin(), abar_.end(), req_.begin(), req_.end(),
+                   std::back_inserter(merged));
+        abar_ = std::move(merged);
+      }
+      if (!CandidateIsLocalSolution()) continue;
+      if (opts_.l_variant == LRefinement::kL20) en.PruneSupersetsOfCurrent();
+      if (stats_ != nullptr) ++stats_->local_solutions;
+      if (!EmitCandidate()) return false;
+    }
+    return true;
+  }
+
+  /// δ̄(u, A' ∪ {v}) for B-side vertex at index `i` of B, under the current
+  /// removal set abar_.
+  size_t DiscInCandidateA(size_t i) const {
+    size_t removed = 0;
+    for (size_t j : abar_) {
+      if (!Adjacent(g_, v_side_, a_[j], b_[i])) ++removed;
+    }
+    return disc_a_of_b_[i] - removed + (v_adj_b_[i] ? 0 : 1);
+  }
+
+  /// Validity + local maximality of (A \ Ā ∪ {v}, B') per Section 4.
+  bool CandidateIsLocalSolution() const {
+    // (a) k-biplex validity: every u ∈ B''_2 needs at least one of its
+    // disconnected A-members removed (its count is k+1 otherwise).
+    for (VertexId u : bpp2_) {
+      bool covered = false;
+      for (size_t j : abar_) {
+        if (!Adjacent(g_, v_side_, a_[j], u)) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) return false;
+    }
+    // (b) A-side local maximality: no removed vertex may be addable back.
+    for (size_t j : abar_) {
+      size_t disc_w = disc_keep_of_a_[j];
+      const VertexId w = a_[j];
+      for (VertexId u : bpp_) {
+        if (!Adjacent(g_, v_side_, w, u)) ++disc_w;
+      }
+      if (disc_w > ka_) continue;  // w's own budget forbids re-adding it
+      bool addable = true;
+      for (VertexId u : bp_) {
+        if (Adjacent(g_, v_side_, w, u)) continue;
+        const size_t i = IndexInB(u);
+        if (DiscInCandidateA(i) + 1 > kb_) {
+          addable = false;
+          break;
+        }
+      }
+      if (addable) return false;
+    }
+    // (c) B-side local maximality: u ∈ B_enum \ B'' is addable iff v still
+    // has budget (|B''| < k, since v disconnects all of B'' and u) and u's
+    // own count fits; members of A' can never block such a u, because
+    // δ̄(a, B') = k together with a disconnected u ∈ B \ B' would force
+    // δ̄(a, B) > k, contradicting that (A, B) is a k-biplex.
+    if (bpp_.size() < ka_) {
+      for (const auto& bucket : {b1_, b2_}) {
+        for (size_t i : bucket) {
+          if (sorted::Contains(bpp_, b_[i])) continue;
+          if (DiscInCandidateA(i) <= kb_) return false;  // u addable
+        }
+      }
+    }
+    return true;
+  }
+
+  /// Builds the local-solution Biplex and invokes the callback.
+  bool EmitCandidate() {
+    Biplex loc;
+    std::vector<VertexId>& anchored = loc.MutableSideSet(v_side_);
+    anchored.reserve(a_.size() - abar_.size() + 1);
+    size_t next_removed = 0;
+    for (size_t j = 0; j < a_.size(); ++j) {
+      if (next_removed < abar_.size() && abar_[next_removed] == j) {
+        ++next_removed;
+        continue;
+      }
+      anchored.push_back(a_[j]);
+    }
+    sorted::Insert(&anchored, v_);
+    loc.MutableSideSet(Opposite(v_side_)) = bp_;
+    return cb_(loc);
+  }
+
+  size_t IndexInB(VertexId u) const {
+    return static_cast<size_t>(
+        std::lower_bound(b_.begin(), b_.end(), u) - b_.begin());
+  }
+
+  const BipartiteGraph& g_;
+  const Side v_side_;
+  const VertexId v_;
+  const size_t ka_;  // budget of the anchored side (v's own side)
+  const size_t kb_;  // budget of the opposite side
+  const EnumAlmostSatOptions& opts_;
+  const LocalSolutionCallback& cb_;
+  EnumAlmostSatStats* stats_;
+
+  const std::vector<VertexId>& a_;
+  const std::vector<VertexId>& b_;
+
+  // Precomputed per invocation.
+  std::vector<size_t> disc_a_of_b_;   // δ̄(u, A), aligned with B
+  std::vector<char> v_adj_b_;         // v adjacent to B[i]?
+  std::vector<VertexId> b_keep_;      // ids
+  std::vector<size_t> b1_, b2_;       // indices into B
+  std::vector<size_t> disc_keep_of_a_;  // δ̄(a, B_keep), aligned with A
+
+  // Per-B''-subset scratch.
+  uint32_t deadline_poll_ = 0;
+  std::vector<VertexId> bpp_, bpp2_, bp_;
+  std::vector<size_t> a_remo_;  // indices into A
+  std::vector<size_t> abar_;    // removal set, indices into A
+  std::vector<size_t> excluded_a_idx_;  // excluded members of A (indices)
+  std::vector<size_t> req_;     // forced removals (indices into A)
+  std::vector<size_t> rest_;    // a_remo_ minus req_
+};
+
+}  // namespace
+
+bool EnumAlmostSat(const BipartiteGraph& g, const Biplex& h, Side v_side,
+                   VertexId v, KPair k, const EnumAlmostSatOptions& opts,
+                   const LocalSolutionCallback& cb,
+                   EnumAlmostSatStats* stats) {
+  assert(k.left >= 1 && k.right >= 1);
+  assert(!sorted::Contains(h.SideSet(v_side), v));
+  AlmostSatEnumerator e(g, h, v_side, v, k, opts, cb, stats);
+  return e.Run();
+}
+
+}  // namespace kbiplex

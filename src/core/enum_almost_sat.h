@@ -1,0 +1,86 @@
+// EnumAlmostSat (Section 4 / Algorithm 3): enumerate all local solutions of
+// an almost-satisfying graph (A ∪ {v}, B), i.e., the subgraphs that contain
+// v, are k-biplexes, and are maximal within the almost-satisfying graph.
+//
+// The implementation is side-neutral: the anchored side A is the side of
+// the incoming vertex v (left for iTraversal's left-anchored traversal,
+// either side for bTraversal), B is the opposite side.
+//
+// Refinements, each selectable independently (evaluated in Figure 12):
+//   R1.0: enumerate only B'' ⊆ B_enum with |B''| <= k, keeping B_keep
+//         (v's neighbors in B) in every local solution (Lemma 4.1).
+//   R2.0: split B_enum into B1 (δ̄(u,A) <= k-1) and B2 (δ̄(u,A) = k) and
+//         prune pairs with |B''| < k and B1 \ B''_1 ≠ ∅ (Lemma 4.2).
+//   L1.0: remove only subsets of A_remo = {a ∈ A : δ̄(a, B''_2) > 0} with
+//         size at most |B''_2| (Lemma 4.3).
+//   L2.0: visit removal sets in ascending cardinality and prune supersets
+//         of successful removal sets (Section 4.4).
+#ifndef KBIPLEX_CORE_ENUM_ALMOST_SAT_H_
+#define KBIPLEX_CORE_ENUM_ALMOST_SAT_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "core/biplex.h"
+#include "graph/bipartite_graph.h"
+#include "util/dynamic_bitset.h"
+#include "util/timer.h"
+
+namespace kbiplex {
+
+/// Refined enumeration variant on the removal (anchored) side.
+enum class LRefinement : uint8_t { kL10, kL20 };
+
+/// Refined enumeration variant on the subset (opposite) side.
+enum class RRefinement : uint8_t { kR10, kR20 };
+
+/// Configuration of one EnumAlmostSat invocation.
+struct EnumAlmostSatOptions {
+  LRefinement l_variant = LRefinement::kL20;
+  RRefinement r_variant = RRefinement::kR20;
+  /// Large-MBP local-solution pruning (Section 5): skip B' subsets with
+  /// fewer than `min_b_size` vertices. 0 disables the prune.
+  size_t min_b_size = 0;
+  /// Optional soft deadline polled during the subset enumeration; when it
+  /// expires the call aborts and returns false, exactly as if the callback
+  /// had requested a stop. Not owned; may be null.
+  const Deadline* deadline = nullptr;
+  /// Optional exclusion filter on the anchored side (bits indexed by
+  /// vertex id of v's side): local solutions retaining a marked A-member
+  /// are never produced. Used by the traversal engine's exclusion strategy
+  /// to avoid enumerating local solutions it would discard anyway —
+  /// removal sets are forced to cover every marked member. Not owned.
+  const DynamicBitset* excluded_anchored = nullptr;
+};
+
+/// Work counters for one or more invocations.
+struct EnumAlmostSatStats {
+  uint64_t b_subsets = 0;        // B'' candidate subsets examined
+  uint64_t a_subsets = 0;        // removal sets examined
+  uint64_t local_solutions = 0;  // local solutions reported
+};
+
+/// Receives each local solution; returns false to stop the enumeration.
+using LocalSolutionCallback = std::function<bool(const Biplex&)>;
+
+/// Enumerates all local solutions within the almost-satisfying graph
+/// (A ∪ {v}, B), where `h` is a k-biplex of `g`, A = h's side `v_side`,
+/// B = the opposite side, and `v` (on side `v_side`) is not in A. Every
+/// reported Biplex contains v on side `v_side`.
+///
+/// Returns false iff the callback requested a stop.
+bool EnumAlmostSat(const BipartiteGraph& g, const Biplex& h, Side v_side,
+                   VertexId v, KPair k, const EnumAlmostSatOptions& opts,
+                   const LocalSolutionCallback& cb,
+                   EnumAlmostSatStats* stats = nullptr);
+inline bool EnumAlmostSat(const BipartiteGraph& g, const Biplex& h,
+                          Side v_side, VertexId v, int k,
+                          const EnumAlmostSatOptions& opts,
+                          const LocalSolutionCallback& cb,
+                          EnumAlmostSatStats* stats = nullptr) {
+  return EnumAlmostSat(g, h, v_side, v, KPair::Uniform(k), opts, cb, stats);
+}
+
+}  // namespace kbiplex
+
+#endif  // KBIPLEX_CORE_ENUM_ALMOST_SAT_H_

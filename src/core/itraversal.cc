@@ -1,0 +1,399 @@
+#include "core/itraversal.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+#include "baselines/inflation_enum.h"
+#include "util/dynamic_bitset.h"
+#include "util/timer.h"
+
+namespace kbiplex {
+namespace {
+
+size_t SideIndex(Side s) { return s == Side::kLeft ? 0 : 1; }
+
+}  // namespace
+
+class TraversalEngine::Impl {
+ public:
+  Impl(const BipartiteGraph& g, const TraversalOptions& opts)
+      : g_(g), opts_(opts), extender_(g, opts.k) {
+    assert(opts.k.left >= 1 && opts.k.right >= 1);
+  }
+
+  Biplex InitialSolution() const {
+    Biplex b;
+    if (opts_.left_anchored) {
+      // H0 = (L0, R): saturate the non-anchored side, then greedily extend
+      // the anchored side to a maximal set (Section 3.2).
+      const Side full = Opposite(opts_.anchored_side);
+      std::vector<VertexId>& fullset = b.MutableSideSet(full);
+      fullset.resize(g_.NumOnSide(full));
+      for (size_t i = 0; i < fullset.size(); ++i) {
+        fullset[i] = static_cast<VertexId>(i);
+      }
+      extender_.Extend(&b, opts_.anchored_side == Side::kLeft,
+                       opts_.anchored_side == Side::kRight);
+    } else {
+      // bTraversal accepts any maximal k-biplex; extend the empty subgraph
+      // deterministically.
+      extender_.Extend(&b, true, true);
+    }
+    return b;
+  }
+
+  TraversalStats Run(const SolutionCallback& cb) {
+    stats_ = TraversalStats();
+    cb_ = &cb;
+    store_ = std::make_unique<SolutionStore>(opts_.store_backend);
+    stop_ = false;
+    WallTimer timer;
+    Deadline deadline(opts_.time_budget_seconds);
+    deadline_ = &deadline;
+
+    Biplex h0 = InitialSolution();
+    store_->Insert(h0);
+    ++stats_.solutions_found;
+    std::deque<Frame> stack;
+    stack.push_back(MakeFrame(std::move(h0), 0, nullptr));
+    stats_.max_stack_depth = 1;
+
+    size_t iter = 0;
+    while (!stack.empty() && !stop_) {
+      if ((++iter & 0xfu) == 0 && deadline.Expired()) {
+        stats_.completed = false;
+        break;
+      }
+      Frame& f = stack.back();
+      if (!f.emitted_pre) {
+        f.emitted_pre = true;
+        if (!opts_.polynomial_delay_output || f.depth % 2 == 0) Emit(f.h);
+        if (stop_) break;
+      }
+      if (f.batch_pos < f.batch.size()) {
+        // Recurse into the next newly discovered solution.
+        Biplex child = std::move(f.batch[f.batch_pos++]);
+        const size_t depth = f.depth;
+        stack.push_back(MakeFrame(std::move(child), depth + 1, &f));
+        stats_.max_stack_depth =
+            std::max(stats_.max_stack_depth, stack.size());
+        continue;
+      }
+      if (f.batch_active) {
+        // The branch of batch_v is complete: grow the exclusion set
+        // (Section 3.5 / Berlowitz et al.'s strategy).
+        f.batch_active = false;
+        f.batch.clear();
+        f.batch_pos = 0;
+        if (opts_.exclusion) {
+          f.excl[SideIndex(f.batch_side)].Set(f.batch_v);
+        }
+      }
+      if (f.recurse && NextBatch(&f)) continue;
+      if (opts_.polynomial_delay_output && f.depth % 2 == 1) Emit(f.h);
+      if (!stop_) stack.pop_back();
+    }
+    if (!stack.empty() && stats_.completed) stats_.completed = false;
+    stats_.seconds = timer.ElapsedSeconds();
+    deadline_ = nullptr;
+    return stats_;
+  }
+
+ private:
+  struct Frame {
+    Biplex h;
+    DynamicBitset excl[2];  // exclusion sets, [0]=left ids, [1]=right ids
+    VertexId next_cand[2] = {0, 0};
+    int side_phase = 0;  // index into the candidate-side sequence
+    std::vector<Biplex> batch;
+    size_t batch_pos = 0;
+    bool batch_active = false;
+    Side batch_side = Side::kLeft;
+    VertexId batch_v = kInvalidVertex;
+    size_t depth = 0;
+    bool emitted_pre = false;
+    bool recurse = true;
+    // Lazily computed exclusion metadata: number of members of the
+    // anchored side inherited as excluded. When it exceeds the anchored
+    // budget, every local solution of every candidate would retain an
+    // excluded vertex, so the whole frame is sterile.
+    bool excl_scanned = false;
+    size_t excl_members_anchored = 0;
+  };
+
+  Frame MakeFrame(Biplex h, size_t depth, const Frame* parent) {
+    Frame f;
+    f.h = std::move(h);
+    f.depth = depth;
+    if (opts_.exclusion) {
+      if (parent != nullptr) {
+        f.excl[0] = parent->excl[0];
+        f.excl[1] = parent->excl[1];
+      } else {
+        f.excl[0] = DynamicBitset(g_.NumLeft());
+        f.excl[1] = DynamicBitset(g_.NumRight());
+      }
+    }
+    if (opts_.prune_small) {
+      // Solution pruning: under right-shrinking traversal every solution
+      // reachable from f.h has its non-anchored side contained in f.h's,
+      // so a too-small side can never recover (Section 5).
+      const Side other = Opposite(opts_.anchored_side);
+      const size_t theta_other =
+          other == Side::kRight ? opts_.theta_right : opts_.theta_left;
+      if (opts_.right_shrinking && theta_other > 0 &&
+          f.h.SideSet(other).size() < theta_other) {
+        f.recurse = false;
+      }
+      // Left-side pruning via the exclusion set (Section 5).
+      const size_t theta_anchor = opts_.anchored_side == Side::kLeft
+                                      ? opts_.theta_left
+                                      : opts_.theta_right;
+      if (opts_.exclusion && theta_anchor > 0) {
+        const size_t n = g_.NumOnSide(opts_.anchored_side);
+        const size_t excluded = f.excl[SideIndex(opts_.anchored_side)].Count();
+        if (n - excluded < theta_anchor) f.recurse = false;
+      }
+    }
+    return f;
+  }
+
+  /// The sequence of candidate sides for Step 1: the anchored side only
+  /// under left-anchored traversal, both sides for bTraversal.
+  Side CandidateSide(int phase) const {
+    if (opts_.left_anchored) return opts_.anchored_side;
+    return phase == 0 ? Side::kLeft : Side::kRight;
+  }
+  int NumSidePhases() const { return opts_.left_anchored ? 1 : 2; }
+
+  /// Advances the frame to its next candidate vertex and builds the batch
+  /// of new solutions reached from it. Returns false when the frame has no
+  /// candidates left.
+  bool NextBatch(Frame* f) {
+    if (opts_.exclusion && opts_.left_anchored && !f->excl_scanned) {
+      // Sterility check: local solutions remove at most k(anchored)
+      // vertices from the anchored side, so if more inherited members are
+      // excluded, every link from this frame is pruned anyway.
+      f->excl_scanned = true;
+      const Side a = opts_.anchored_side;
+      for (VertexId x : f->h.SideSet(a)) {
+        if (f->excl[SideIndex(a)].Test(x)) ++f->excl_members_anchored;
+      }
+    }
+    if (opts_.exclusion && opts_.left_anchored &&
+        f->excl_members_anchored >
+            static_cast<size_t>(opts_.k.ForSide(opts_.anchored_side))) {
+      return false;
+    }
+    while (f->side_phase < NumSidePhases()) {
+      const Side side = CandidateSide(f->side_phase);
+      const size_t n = g_.NumOnSide(side);
+      const std::vector<VertexId>& members = f->h.SideSet(side);
+      const std::vector<VertexId>& other_members =
+          f->h.SideSet(Opposite(side));
+      const DynamicBitset& excl_other = f->excl[SideIndex(Opposite(side))];
+      VertexId v = f->next_cand[SideIndex(side)];
+      for (; v < n; ++v) {
+        if (sorted::Contains(members, v)) continue;
+        if (opts_.exclusion) {
+          if (f->excl[SideIndex(side)].Test(v)) continue;
+          // Every local solution of G[H ∪ v] keeps all of v's neighbors
+          // inside H (Lemma 4.1), so an excluded neighbor inside H prunes
+          // every link of this candidate.
+          if (excl_other.size() != 0 &&
+              HasExcludedNeighbor(side, v, other_members, excl_other)) {
+            continue;
+          }
+        }
+        break;
+      }
+      if (v >= n) {
+        ++f->side_phase;
+        continue;
+      }
+      f->next_cand[SideIndex(side)] = v + 1;
+      ProcessCandidate(f, side, v);
+      f->batch_active = true;
+      f->batch_side = side;
+      f->batch_v = v;
+      return true;
+    }
+    return false;
+  }
+
+  /// True iff candidate `v` (on `side`) has a neighbor inside
+  /// `other_members` that is excluded.
+  bool HasExcludedNeighbor(Side side, VertexId v,
+                           const std::vector<VertexId>& other_members,
+                           const DynamicBitset& excl_other) const {
+    for (VertexId u : g_.Neighbors(side, v)) {
+      if (excl_other.Test(u) && sorted::Contains(other_members, u)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// θ threshold on the side opposite to `side`.
+  size_t ThetaOpposite(Side side) const {
+    return side == Side::kLeft ? opts_.theta_right : opts_.theta_left;
+  }
+
+  /// Steps 1-3 for a single almost-satisfying graph G[f->h ∪ v].
+  void ProcessCandidate(Frame* f, Side side, VertexId v) {
+    ++stats_.almost_sat_graphs;
+    const size_t theta_other = ThetaOpposite(side);
+    if (opts_.prune_small && opts_.right_shrinking && theta_other > 0) {
+      // Almost-satisfying-graph pruning: any solution via v keeps at most
+      // δ(v, other) + k vertices of the other side (Section 5).
+      const size_t conn =
+          g_.ConnCount(side, v, f->h.SideSet(Opposite(side)));
+      // v itself tolerates at most k(side) disconnections, bounding the
+      // other side of any solution through this almost-satisfying graph.
+      if (conn + static_cast<size_t>(opts_.k.ForSide(side)) < theta_other) {
+        return;
+      }
+    }
+
+    // Step-3 growth sides: bTraversal extends with any vertex; left-
+    // anchored traversal with right-shrinking extends the anchored side
+    // only (Algorithm 2, line 8).
+    bool grow_left = true;
+    bool grow_right = true;
+    if (opts_.left_anchored && opts_.right_shrinking) {
+      grow_left = opts_.anchored_side == Side::kLeft;
+      grow_right = opts_.anchored_side == Side::kRight;
+    }
+    auto handle_local = [&](const Biplex& loc) -> bool {
+      ++stats_.local_solutions;
+      if (deadline_ != nullptr && (stats_.local_solutions & 0xfu) == 0 &&
+          deadline_->Expired()) {
+        stop_ = true;
+        stats_.completed = false;
+        return false;
+      }
+      if (opts_.exclusion && IntersectsExclusion(*f, loc)) {
+        ++stats_.links_pruned_exclusion;
+        return true;
+      }
+      if (opts_.left_anchored && opts_.right_shrinking) {
+        // Right-shrinking filter (Algorithm 2, line 7): discard local
+        // solutions to which some non-anchored vertex is still addable.
+        if (extender_.AnyAddable(loc, Opposite(opts_.anchored_side))) {
+          ++stats_.links_pruned_right_shrinking;
+          return true;
+        }
+      }
+      Biplex sol = loc;
+      extender_.Extend(&sol, grow_left, grow_right);
+      if (opts_.exclusion && IntersectsExclusion(*f, sol)) {
+        ++stats_.links_pruned_exclusion;
+        return true;
+      }
+      ++stats_.links;
+      if (opts_.max_links != 0 && stats_.links >= opts_.max_links) {
+        stop_ = true;
+        stats_.completed = false;
+        return false;
+      }
+      if (store_->Insert(sol)) {
+        ++stats_.solutions_found;
+        f->batch.push_back(std::move(sol));
+      } else {
+        ++stats_.dedup_hits;
+      }
+      return true;
+    };
+
+    if (opts_.local_impl == LocalEnumImpl::kDirect) {
+      EnumAlmostSatOptions lopts = opts_.local;
+      lopts.deadline = deadline_;
+      if (opts_.exclusion) {
+        lopts.excluded_anchored = &f->excl[SideIndex(side)];
+      }
+      if (opts_.prune_small && opts_.right_shrinking && theta_other > 0) {
+        lopts.min_b_size = theta_other;  // local-solution pruning
+      }
+      bool completed = EnumAlmostSat(g_, f->h, side, v, opts_.k, lopts,
+                                     handle_local, &stats_.local_stats);
+      if (!completed && !stop_ && deadline_ != nullptr &&
+          deadline_->Expired()) {
+        stop_ = true;
+        stats_.completed = false;
+      }
+    } else {
+      EnumAlmostSatByInflation(g_, f->h, side, v, opts_.k, handle_local);
+    }
+  }
+
+  bool IntersectsExclusion(const Frame& f, const Biplex& b) const {
+    for (Side side : {Side::kLeft, Side::kRight}) {
+      const DynamicBitset& excl = f.excl[SideIndex(side)];
+      if (excl.size() == 0) continue;
+      for (VertexId x : b.SideSet(side)) {
+        if (excl.Test(x)) return true;
+      }
+    }
+    return false;
+  }
+
+  void Emit(const Biplex& h) {
+    if (h.left.size() < opts_.theta_left ||
+        h.right.size() < opts_.theta_right) {
+      return;
+    }
+    ++stats_.solutions_emitted;
+    if (!(*cb_)(h)) {
+      stop_ = true;
+      stats_.completed = false;
+      return;
+    }
+    if (opts_.max_results != 0 &&
+        stats_.solutions_emitted >= opts_.max_results) {
+      stop_ = true;
+      stats_.completed = false;
+    }
+  }
+
+  const BipartiteGraph& g_;
+  const TraversalOptions opts_;
+  MaximalExtender extender_;
+  TraversalStats stats_;
+  const SolutionCallback* cb_ = nullptr;
+  std::unique_ptr<SolutionStore> store_;
+  const Deadline* deadline_ = nullptr;
+  bool stop_ = false;
+
+  friend class TraversalEngine;
+};
+
+TraversalEngine::TraversalEngine(const BipartiteGraph& g,
+                                 const TraversalOptions& options)
+    : impl_(std::make_unique<Impl>(g, options)) {}
+
+TraversalEngine::~TraversalEngine() = default;
+
+TraversalStats TraversalEngine::Run(const SolutionCallback& cb) {
+  return impl_->Run(cb);
+}
+
+Biplex TraversalEngine::InitialSolution() const {
+  return impl_->InitialSolution();
+}
+
+std::vector<Biplex> EnumerateMaximalBiplexes(const BipartiteGraph& g,
+                                             int k) {
+  TraversalOptions opts;
+  opts.k = KPair::Uniform(k);
+  TraversalEngine engine(g, opts);
+  std::vector<Biplex> out;
+  engine.Run([&](const Biplex& b) {
+    out.push_back(b);
+    return true;
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace kbiplex

@@ -1,0 +1,80 @@
+#include "core/large_mbp.h"
+
+#include <algorithm>
+
+#include "core/btraversal.h"
+#include "graph/core_decomposition.h"
+#include "util/timer.h"
+
+namespace kbiplex {
+
+LargeMbpStats EnumerateLargeMbps(const BipartiteGraph& g,
+                                 const LargeMbpOptions& opts,
+                                 const SolutionCallback& cb) {
+  LargeMbpStats stats;
+  WallTimer timer;
+
+  TraversalOptions topts = MakeITraversalOptions(1);
+  topts.k = opts.k;
+  topts.theta_left = opts.theta_left;
+  topts.theta_right = opts.theta_right;
+  topts.prune_small = true;
+  topts.max_results = opts.max_results;
+  topts.time_budget_seconds = opts.time_budget_seconds;
+
+  if (!opts.core_reduction) {
+    stats.core_left = g.NumLeft();
+    stats.core_right = g.NumRight();
+    TraversalEngine engine(g, topts);
+    stats.traversal = engine.Run(cb);
+    stats.completed = stats.traversal.completed;
+    stats.seconds = timer.ElapsedSeconds();
+    return stats;
+  }
+
+  // Every large MBP lies inside the (θ−k)-core: each of its left vertices
+  // keeps >= θ_right − k right neighbors and vice versa, and adding any
+  // eligible outside vertex would extend the core (Section 6.1). So we may
+  // enumerate on the reduced subgraph and translate ids back.
+  const size_t kl = static_cast<size_t>(opts.k.left);
+  const size_t kr = static_cast<size_t>(opts.k.right);
+  const size_t alpha = opts.theta_right > kl ? opts.theta_right - kl : 0;
+  const size_t beta = opts.theta_left > kr ? opts.theta_left - kr : 0;
+  InducedSubgraph core = AlphaBetaCoreSubgraph(g, alpha, beta);
+  stats.core_left = core.graph.NumLeft();
+  stats.core_right = core.graph.NumRight();
+  if (core.graph.NumLeft() < opts.theta_left ||
+      core.graph.NumRight() < opts.theta_right) {
+    stats.seconds = timer.ElapsedSeconds();
+    return stats;  // no large MBP can exist
+  }
+
+  TraversalEngine engine(core.graph, topts);
+  stats.traversal = engine.Run([&](const Biplex& b) {
+    Biplex mapped;
+    mapped.left.reserve(b.left.size());
+    mapped.right.reserve(b.right.size());
+    for (VertexId v : b.left) mapped.left.push_back(core.left_map[v]);
+    for (VertexId u : b.right) mapped.right.push_back(core.right_map[u]);
+    // Maps are monotone (Induce preserves order), so sets stay sorted.
+    return cb(mapped);
+  });
+  stats.completed = stats.traversal.completed;
+  stats.seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
+std::vector<Biplex> CollectLargeMbps(const BipartiteGraph& g,
+                                     const LargeMbpOptions& opts,
+                                     LargeMbpStats* stats) {
+  std::vector<Biplex> out;
+  LargeMbpStats s = EnumerateLargeMbps(g, opts, [&](const Biplex& b) {
+    out.push_back(b);
+    return true;
+  });
+  if (stats != nullptr) *stats = s;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace kbiplex

@@ -1,0 +1,51 @@
+// Large-MBP enumeration (Section 5): enumerate only the maximal k-biplexes
+// whose sides meet size thresholds, without enumerating all MBPs first.
+// Combines the (θ−k)-core pre-reduction used in Section 6.1 with the
+// engine's Section 5 pruning rules.
+#ifndef KBIPLEX_CORE_LARGE_MBP_H_
+#define KBIPLEX_CORE_LARGE_MBP_H_
+
+#include <vector>
+
+#include "core/itraversal.h"
+#include "core/traversal_options.h"
+#include "graph/bipartite_graph.h"
+
+namespace kbiplex {
+
+/// Options of a large-MBP run.
+struct LargeMbpOptions {
+  KPair k = KPair::Uniform(1);
+  size_t theta_left = 1;   // minimum |L'| of reported MBPs
+  size_t theta_right = 1;  // minimum |R'|
+  /// Pre-reduce the graph to its (θ−k)-core before enumerating; every
+  /// large MBP survives the reduction because each of its vertices has at
+  /// least θ−k neighbors inside it.
+  bool core_reduction = true;
+  uint64_t max_results = 0;
+  double time_budget_seconds = 0;
+};
+
+/// Result counters of a large-MBP run.
+struct LargeMbpStats {
+  TraversalStats traversal;
+  size_t core_left = 0;   // vertices surviving the core reduction
+  size_t core_right = 0;
+  bool completed = true;
+  double seconds = 0;
+};
+
+/// Enumerates every maximal k-biplex of `g` with |L'| >= theta_left and
+/// |R'| >= theta_right, delivering them to `cb` with ids of `g`.
+LargeMbpStats EnumerateLargeMbps(const BipartiteGraph& g,
+                                 const LargeMbpOptions& opts,
+                                 const SolutionCallback& cb);
+
+/// Convenience wrapper returning the sorted solutions.
+std::vector<Biplex> CollectLargeMbps(const BipartiteGraph& g,
+                                     const LargeMbpOptions& opts,
+                                     LargeMbpStats* stats = nullptr);
+
+}  // namespace kbiplex
+
+#endif  // KBIPLEX_CORE_LARGE_MBP_H_

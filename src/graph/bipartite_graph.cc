@@ -1,0 +1,127 @@
+#include "graph/bipartite_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace kbiplex {
+
+BipartiteGraph BipartiteGraph::FromEdges(size_t num_left, size_t num_right,
+                                         std::vector<Edge> edges) {
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  BipartiteGraph g;
+  g.left_offsets_.assign(num_left + 1, 0);
+  g.right_offsets_.assign(num_right + 1, 0);
+  for (const auto& [l, r] : edges) {
+    assert(l < num_left && r < num_right);
+    ++g.left_offsets_[l + 1];
+    ++g.right_offsets_[r + 1];
+  }
+  for (size_t i = 1; i <= num_left; ++i) {
+    g.left_offsets_[i] += g.left_offsets_[i - 1];
+  }
+  for (size_t i = 1; i <= num_right; ++i) {
+    g.right_offsets_[i] += g.right_offsets_[i - 1];
+  }
+  g.left_neighbors_.resize(edges.size());
+  g.right_neighbors_.resize(edges.size());
+  std::vector<size_t> lpos(g.left_offsets_.begin(),
+                           g.left_offsets_.end() - 1);
+  std::vector<size_t> rpos(g.right_offsets_.begin(),
+                           g.right_offsets_.end() - 1);
+  for (const auto& [l, r] : edges) {
+    g.left_neighbors_[lpos[l]++] = r;
+    g.right_neighbors_[rpos[r]++] = l;
+  }
+  // Edges were sorted by (l, r), so each left adjacency list is sorted; the
+  // right lists need sorting.
+  for (size_t u = 0; u < num_right; ++u) {
+    std::sort(g.right_neighbors_.begin() +
+                  static_cast<ptrdiff_t>(g.right_offsets_[u]),
+              g.right_neighbors_.begin() +
+                  static_cast<ptrdiff_t>(g.right_offsets_[u + 1]));
+  }
+  return g;
+}
+
+bool BipartiteGraph::HasEdge(VertexId l, VertexId r) const {
+  // Search the shorter adjacency list.
+  if (LeftDegree(l) <= RightDegree(r)) {
+    auto nb = LeftNeighbors(l);
+    return std::binary_search(nb.begin(), nb.end(), r);
+  }
+  auto nb = RightNeighbors(r);
+  return std::binary_search(nb.begin(), nb.end(), l);
+}
+
+std::vector<BipartiteGraph::Edge> BipartiteGraph::Edges() const {
+  std::vector<Edge> out;
+  out.reserve(NumEdges());
+  for (VertexId l = 0; l < NumLeft(); ++l) {
+    for (VertexId r : LeftNeighbors(l)) out.emplace_back(l, r);
+  }
+  return out;
+}
+
+BipartiteGraph BipartiteGraph::Transposed() const {
+  BipartiteGraph g;
+  g.left_offsets_ = right_offsets_;
+  g.left_neighbors_ = right_neighbors_;
+  g.right_offsets_ = left_offsets_;
+  g.right_neighbors_ = left_neighbors_;
+  return g;
+}
+
+size_t BipartiteGraph::ConnCount(Side side, VertexId v,
+                                 const std::vector<VertexId>& subset) const {
+  auto nb = Neighbors(side, v);
+  // Merge-count; switch to binary search when the subset is much smaller.
+  if (subset.size() * 8 < nb.size()) {
+    size_t n = 0;
+    for (VertexId x : subset) {
+      if (std::binary_search(nb.begin(), nb.end(), x)) ++n;
+    }
+    return n;
+  }
+  size_t n = 0;
+  auto ia = nb.begin();
+  auto ib = subset.begin();
+  while (ia != nb.end() && ib != subset.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++n;
+      ++ia;
+      ++ib;
+    }
+  }
+  return n;
+}
+
+InducedSubgraph Induce(const BipartiteGraph& g,
+                       const std::vector<VertexId>& left,
+                       const std::vector<VertexId>& right) {
+  InducedSubgraph out;
+  out.left_map = left;
+  out.right_map = right;
+  std::vector<VertexId> right_compact(g.NumRight(), kInvalidVertex);
+  for (size_t i = 0; i < right.size(); ++i) {
+    right_compact[right[i]] = static_cast<VertexId>(i);
+  }
+  std::vector<BipartiteGraph::Edge> edges;
+  for (size_t i = 0; i < left.size(); ++i) {
+    for (VertexId r : g.LeftNeighbors(left[i])) {
+      if (right_compact[r] != kInvalidVertex) {
+        edges.emplace_back(static_cast<VertexId>(i), right_compact[r]);
+      }
+    }
+  }
+  out.graph =
+      BipartiteGraph::FromEdges(left.size(), right.size(), std::move(edges));
+  return out;
+}
+
+}  // namespace kbiplex

@@ -1,0 +1,120 @@
+// Immutable CSR bipartite graph: the substrate every algorithm in this
+// library operates on. Left and right vertices use independent id spaces
+// [0, NumLeft()) and [0, NumRight()); adjacency lists are sorted so that
+// membership tests are O(log degree) and set operations are mergeable.
+#ifndef KBIPLEX_GRAPH_BIPARTITE_GRAPH_H_
+#define KBIPLEX_GRAPH_BIPARTITE_GRAPH_H_
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/common.h"
+
+namespace kbiplex {
+
+/// An undirected, unweighted bipartite graph G = (L ∪ R, E) in CSR form.
+/// Instances are immutable after construction; copy/move are cheap enough
+/// for the test workloads and explicit everywhere else.
+class BipartiteGraph {
+ public:
+  using Edge = std::pair<VertexId, VertexId>;  // (left id, right id)
+
+  /// Empty graph.
+  BipartiteGraph() = default;
+
+  /// Builds a graph with `num_left` / `num_right` vertices from an edge
+  /// list. Duplicate edges are collapsed; edges referencing out-of-range
+  /// vertices are not allowed (checked in debug builds).
+  static BipartiteGraph FromEdges(size_t num_left, size_t num_right,
+                                  std::vector<Edge> edges);
+
+  size_t NumLeft() const { return left_offsets_.empty() ? 0 : left_offsets_.size() - 1; }
+  size_t NumRight() const { return right_offsets_.empty() ? 0 : right_offsets_.size() - 1; }
+  size_t NumEdges() const { return left_neighbors_.size(); }
+  size_t NumVertices() const { return NumLeft() + NumRight(); }
+
+  /// Sorted right-neighbors of left vertex `v`.
+  std::span<const VertexId> LeftNeighbors(VertexId v) const {
+    return {left_neighbors_.data() + left_offsets_[v],
+            left_neighbors_.data() + left_offsets_[v + 1]};
+  }
+
+  /// Sorted left-neighbors of right vertex `u`.
+  std::span<const VertexId> RightNeighbors(VertexId u) const {
+    return {right_neighbors_.data() + right_offsets_[u],
+            right_neighbors_.data() + right_offsets_[u + 1]};
+  }
+
+  /// Sorted neighbors of `v` on side `side`.
+  std::span<const VertexId> Neighbors(Side side, VertexId v) const {
+    return side == Side::kLeft ? LeftNeighbors(v) : RightNeighbors(v);
+  }
+
+  size_t LeftDegree(VertexId v) const {
+    return left_offsets_[v + 1] - left_offsets_[v];
+  }
+  size_t RightDegree(VertexId u) const {
+    return right_offsets_[u + 1] - right_offsets_[u];
+  }
+  size_t Degree(Side side, VertexId v) const {
+    return side == Side::kLeft ? LeftDegree(v) : RightDegree(v);
+  }
+
+  /// Number of vertices on a side.
+  size_t NumOnSide(Side side) const {
+    return side == Side::kLeft ? NumLeft() : NumRight();
+  }
+
+  /// True iff the edge (l, r) exists.
+  bool HasEdge(VertexId l, VertexId r) const;
+
+  /// Edge density as defined by the paper: |E| / (|L| + |R|).
+  double EdgeDensity() const {
+    size_t n = NumVertices();
+    return n == 0 ? 0.0 : static_cast<double>(NumEdges()) / static_cast<double>(n);
+  }
+
+  /// Materializes the edge list (sorted by (left, right)).
+  std::vector<Edge> Edges() const;
+
+  /// Returns the graph with the two sides swapped (left becomes right).
+  BipartiteGraph Transposed() const;
+
+  /// Number of vertices v ∈ `subset` (of side opposite to `side`... see
+  /// below) adjacent to `v`. Specifically: |Γ(v) ∩ subset| for vertex `v`
+  /// on side `side`, where `subset` is a sorted id vector of the opposite
+  /// side. This is the δ(v, S) primitive of the paper.
+  size_t ConnCount(Side side, VertexId v,
+                   const std::vector<VertexId>& subset) const;
+
+  /// δ̄(v, S) = |S| - δ(v, S): disconnections of `v` within `subset`.
+  size_t DiscCount(Side side, VertexId v,
+                   const std::vector<VertexId>& subset) const {
+    return subset.size() - ConnCount(side, v, subset);
+  }
+
+ private:
+  std::vector<size_t> left_offsets_;
+  std::vector<VertexId> left_neighbors_;
+  std::vector<size_t> right_offsets_;
+  std::vector<VertexId> right_neighbors_;
+};
+
+/// An induced bipartite subgraph materialized with compacted ids, plus the
+/// maps from compact ids back to the parent graph's ids.
+struct InducedSubgraph {
+  BipartiteGraph graph;
+  std::vector<VertexId> left_map;   // compact left id -> parent left id
+  std::vector<VertexId> right_map;  // compact right id -> parent right id
+};
+
+/// Materializes G[L ∪ R]. `left` and `right` must be sorted and in range.
+InducedSubgraph Induce(const BipartiteGraph& g,
+                       const std::vector<VertexId>& left,
+                       const std::vector<VertexId>& right);
+
+}  // namespace kbiplex
+
+#endif  // KBIPLEX_GRAPH_BIPARTITE_GRAPH_H_

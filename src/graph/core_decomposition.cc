@@ -1,0 +1,65 @@
+#include "graph/core_decomposition.h"
+
+#include <deque>
+
+namespace kbiplex {
+
+CoreResult AlphaBetaCore(const BipartiteGraph& g, size_t alpha, size_t beta) {
+  std::vector<size_t> ldeg(g.NumLeft());
+  std::vector<size_t> rdeg(g.NumRight());
+  std::vector<bool> lgone(g.NumLeft(), false);
+  std::vector<bool> rgone(g.NumRight(), false);
+  // (side, id) peeling queue.
+  std::deque<std::pair<Side, VertexId>> queue;
+  for (VertexId v = 0; v < g.NumLeft(); ++v) {
+    ldeg[v] = g.LeftDegree(v);
+    if (ldeg[v] < alpha) {
+      lgone[v] = true;
+      queue.emplace_back(Side::kLeft, v);
+    }
+  }
+  for (VertexId u = 0; u < g.NumRight(); ++u) {
+    rdeg[u] = g.RightDegree(u);
+    if (rdeg[u] < beta) {
+      rgone[u] = true;
+      queue.emplace_back(Side::kRight, u);
+    }
+  }
+  while (!queue.empty()) {
+    auto [side, v] = queue.front();
+    queue.pop_front();
+    if (side == Side::kLeft) {
+      for (VertexId u : g.LeftNeighbors(v)) {
+        if (rgone[u]) continue;
+        if (--rdeg[u] < beta) {
+          rgone[u] = true;
+          queue.emplace_back(Side::kRight, u);
+        }
+      }
+    } else {
+      for (VertexId w : g.RightNeighbors(v)) {
+        if (lgone[w]) continue;
+        if (--ldeg[w] < alpha) {
+          lgone[w] = true;
+          queue.emplace_back(Side::kLeft, w);
+        }
+      }
+    }
+  }
+  CoreResult out;
+  for (VertexId v = 0; v < g.NumLeft(); ++v) {
+    if (!lgone[v]) out.left.push_back(v);
+  }
+  for (VertexId u = 0; u < g.NumRight(); ++u) {
+    if (!rgone[u]) out.right.push_back(u);
+  }
+  return out;
+}
+
+InducedSubgraph AlphaBetaCoreSubgraph(const BipartiteGraph& g, size_t alpha,
+                                      size_t beta) {
+  CoreResult core = AlphaBetaCore(g, alpha, beta);
+  return Induce(g, core.left, core.right);
+}
+
+}  // namespace kbiplex

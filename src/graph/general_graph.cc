@@ -1,0 +1,62 @@
+#include "graph/general_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace kbiplex {
+
+GeneralGraph GeneralGraph::FromEdges(size_t num_vertices,
+                                     std::vector<Edge> edges) {
+  // Symmetrize, drop self-loops, dedup.
+  std::vector<Edge> sym;
+  sym.reserve(edges.size() * 2);
+  for (const auto& [a, b] : edges) {
+    assert(a < num_vertices && b < num_vertices);
+    if (a == b) continue;
+    sym.emplace_back(a, b);
+    sym.emplace_back(b, a);
+  }
+  std::sort(sym.begin(), sym.end());
+  sym.erase(std::unique(sym.begin(), sym.end()), sym.end());
+
+  GeneralGraph g;
+  g.offsets_.assign(num_vertices + 1, 0);
+  for (const auto& [a, b] : sym) ++g.offsets_[a + 1];
+  for (size_t i = 1; i <= num_vertices; ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+  g.neighbors_.resize(sym.size());
+  std::vector<size_t> pos(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [a, b] : sym) g.neighbors_[pos[a]++] = b;
+  return g;
+}
+
+bool GeneralGraph::HasEdge(VertexId a, VertexId b) const {
+  auto na = Neighbors(a);
+  auto nb = Neighbors(b);
+  const auto& shorter = na.size() <= nb.size() ? na : nb;
+  VertexId target = na.size() <= nb.size() ? b : a;
+  return std::binary_search(shorter.begin(), shorter.end(), target);
+}
+
+size_t GeneralGraph::ConnCount(VertexId v,
+                               const std::vector<VertexId>& subset) const {
+  auto nb = Neighbors(v);
+  size_t n = 0;
+  auto ia = nb.begin();
+  auto ib = subset.begin();
+  while (ia != nb.end() && ib != subset.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++n;
+      ++ia;
+      ++ib;
+    }
+  }
+  return n;
+}
+
+}  // namespace kbiplex

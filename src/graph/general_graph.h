@@ -1,0 +1,52 @@
+// Immutable CSR general (unipartite) graph. Substrate for the graph
+// inflation baselines: FaPlexen-style maximal (k+1)-plex enumeration and
+// the Inflation implementation of EnumAlmostSat.
+#ifndef KBIPLEX_GRAPH_GENERAL_GRAPH_H_
+#define KBIPLEX_GRAPH_GENERAL_GRAPH_H_
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/common.h"
+
+namespace kbiplex {
+
+/// An undirected, unweighted general graph with sorted adjacency lists.
+class GeneralGraph {
+ public:
+  using Edge = std::pair<VertexId, VertexId>;
+
+  GeneralGraph() = default;
+
+  /// Builds a graph on `num_vertices` vertices from an undirected edge
+  /// list. Duplicates and self-loops are discarded.
+  static GeneralGraph FromEdges(size_t num_vertices, std::vector<Edge> edges);
+
+  size_t NumVertices() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  size_t NumEdges() const { return neighbors_.size() / 2; }
+
+  /// Sorted neighbors of `v`.
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    return {neighbors_.data() + offsets_[v],
+            neighbors_.data() + offsets_[v + 1]};
+  }
+
+  size_t Degree(VertexId v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  bool HasEdge(VertexId a, VertexId b) const;
+
+  /// |Γ(v) ∩ subset| for a sorted vertex vector `subset`.
+  size_t ConnCount(VertexId v, const std::vector<VertexId>& subset) const;
+
+ private:
+  std::vector<size_t> offsets_;
+  std::vector<VertexId> neighbors_;
+};
+
+}  // namespace kbiplex
+
+#endif  // KBIPLEX_GRAPH_GENERAL_GRAPH_H_

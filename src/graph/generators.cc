@@ -1,0 +1,135 @@
+#include "graph/generators.h"
+
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+namespace kbiplex {
+namespace {
+
+// Packs an edge into a 64-bit key for dedup sets.
+uint64_t EdgeKey(VertexId l, VertexId r) {
+  return (static_cast<uint64_t>(l) << 32) | r;
+}
+
+// Builds a cumulative distribution over power-law weights w_i = (i+1)^-s.
+std::vector<double> PowerLawCdf(size_t n, double s) {
+  std::vector<double> cdf(n);
+  double total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    total += std::pow(static_cast<double>(i + 1), -s);
+    cdf[i] = total;
+  }
+  for (double& x : cdf) x /= total;
+  return cdf;
+}
+
+size_t SampleCdf(const std::vector<double>& cdf, Rng* rng) {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  return it == cdf.end() ? cdf.size() - 1
+                         : static_cast<size_t>(it - cdf.begin());
+}
+
+}  // namespace
+
+BipartiteGraph ErdosRenyiBipartite(size_t num_left, size_t num_right,
+                                   size_t num_edges, Rng* rng) {
+  const uint64_t universe =
+      static_cast<uint64_t>(num_left) * static_cast<uint64_t>(num_right);
+  assert(num_edges <= universe);
+  std::vector<BipartiteGraph::Edge> edges;
+  edges.reserve(num_edges);
+  for (uint64_t slot : rng->SampleDistinct(universe, num_edges)) {
+    edges.emplace_back(static_cast<VertexId>(slot / num_right),
+                       static_cast<VertexId>(slot % num_right));
+  }
+  return BipartiteGraph::FromEdges(num_left, num_right, std::move(edges));
+}
+
+BipartiteGraph ErdosRenyiProbBipartite(size_t num_left, size_t num_right,
+                                       double p, Rng* rng) {
+  std::vector<BipartiteGraph::Edge> edges;
+  for (VertexId l = 0; l < num_left; ++l) {
+    for (VertexId r = 0; r < num_right; ++r) {
+      if (rng->NextBool(p)) edges.emplace_back(l, r);
+    }
+  }
+  return BipartiteGraph::FromEdges(num_left, num_right, std::move(edges));
+}
+
+BipartiteGraph PowerLawBipartite(size_t num_left, size_t num_right,
+                                 size_t target_edges, double gamma,
+                                 Rng* rng) {
+  return PowerLawBipartiteAsym(num_left, num_right, target_edges, gamma,
+                               gamma, rng);
+}
+
+BipartiteGraph PowerLawBipartiteAsym(size_t num_left, size_t num_right,
+                                     size_t target_edges, double gamma_left,
+                                     double gamma_right, Rng* rng) {
+  assert(gamma_left > 1.0 && gamma_right > 1.0);
+  // Chung-Lu weight exponents per side.
+  const std::vector<double> lcdf =
+      PowerLawCdf(num_left, 1.0 / (gamma_left - 1.0));
+  const std::vector<double> rcdf =
+      PowerLawCdf(num_right, 1.0 / (gamma_right - 1.0));
+  const uint64_t universe =
+      static_cast<uint64_t>(num_left) * static_cast<uint64_t>(num_right);
+  const size_t want = static_cast<size_t>(
+      std::min<uint64_t>(target_edges, universe));
+
+  std::unordered_set<uint64_t> seen;
+  std::vector<BipartiteGraph::Edge> edges;
+  edges.reserve(want);
+  // Cap attempts so near-saturated requests still terminate.
+  const size_t max_attempts = want * 20 + 1000;
+  for (size_t attempts = 0; edges.size() < want && attempts < max_attempts;
+       ++attempts) {
+    VertexId l = static_cast<VertexId>(SampleCdf(lcdf, rng));
+    VertexId r = static_cast<VertexId>(SampleCdf(rcdf, rng));
+    if (seen.insert(EdgeKey(l, r)).second) edges.emplace_back(l, r);
+  }
+  // Top up with uniform edges if the skewed sampler saturated.
+  while (edges.size() < want) {
+    VertexId l = static_cast<VertexId>(rng->NextBelow(num_left));
+    VertexId r = static_cast<VertexId>(rng->NextBelow(num_right));
+    if (seen.insert(EdgeKey(l, r)).second) edges.emplace_back(l, r);
+  }
+  return BipartiteGraph::FromEdges(num_left, num_right, std::move(edges));
+}
+
+BipartiteGraph PlantDenseBlock(const BipartiteGraph& g, size_t block_left,
+                               size_t block_right, double p_block,
+                               Rng* rng) {
+  std::vector<BipartiteGraph::Edge> edges = g.Edges();
+  const VertexId l0 = static_cast<VertexId>(g.NumLeft());
+  const VertexId r0 = static_cast<VertexId>(g.NumRight());
+  for (size_t i = 0; i < block_left; ++i) {
+    for (size_t j = 0; j < block_right; ++j) {
+      if (rng->NextBool(p_block)) {
+        edges.emplace_back(l0 + static_cast<VertexId>(i),
+                           r0 + static_cast<VertexId>(j));
+      }
+    }
+  }
+  return BipartiteGraph::FromEdges(g.NumLeft() + block_left,
+                                   g.NumRight() + block_right,
+                                   std::move(edges));
+}
+
+BipartiteGraph RunningExampleGraph() {
+  // v4 connects u0..u3 (misses only u4), so with k = 1 the initial solution
+  // is H0 = ({v4}, {u0..u4}); v0..v3 each miss >= 2 right vertices so none
+  // of them can join H0.
+  std::vector<BipartiteGraph::Edge> edges = {
+      {0, 0}, {0, 1}, {0, 2},          // v0: u0 u1 u2
+      {1, 0}, {1, 1}, {1, 3},          // v1: u0 u1 u3
+      {2, 1}, {2, 2}, {2, 4},          // v2: u1 u2 u4
+      {3, 2}, {3, 3}, {3, 4},          // v3: u2 u3 u4
+      {4, 0}, {4, 1}, {4, 2}, {4, 3},  // v4: u0 u1 u2 u3
+  };
+  return BipartiteGraph::FromEdges(5, 5, std::move(edges));
+}
+
+}  // namespace kbiplex

@@ -1,0 +1,57 @@
+// Synthetic bipartite graph generators. These drive the property tests and
+// serve as offline stand-ins for the paper's real KONECT datasets and the
+// Erdős–Rényi graphs of the scalability experiments (Figure 9).
+#ifndef KBIPLEX_GRAPH_GENERATORS_H_
+#define KBIPLEX_GRAPH_GENERATORS_H_
+
+#include <cstddef>
+
+#include "graph/bipartite_graph.h"
+#include "util/random.h"
+
+namespace kbiplex {
+
+/// Erdős–Rényi bipartite graph with exactly `num_edges` distinct edges
+/// sampled uniformly (the G(n, M) model used by the paper's synthetic
+/// experiments). Requires num_edges <= num_left * num_right.
+BipartiteGraph ErdosRenyiBipartite(size_t num_left, size_t num_right,
+                                   size_t num_edges, Rng* rng);
+
+/// Erdős–Rényi bipartite graph where each of the num_left * num_right
+/// possible edges is present independently with probability `p`.
+BipartiteGraph ErdosRenyiProbBipartite(size_t num_left, size_t num_right,
+                                       double p, Rng* rng);
+
+/// Chung–Lu style bipartite graph with power-law expected degrees
+/// (exponent `gamma` > 1) on both sides and approximately `target_edges`
+/// distinct edges. Used as the structural stand-in for the skewed real
+/// datasets of Table 1.
+BipartiteGraph PowerLawBipartite(size_t num_left, size_t num_right,
+                                 size_t target_edges, double gamma, Rng* rng);
+
+/// Chung–Lu bipartite graph with distinct exponents per side. Larger
+/// exponents yield flatter degree distributions; this models review data
+/// whose product side is heavy-tailed while the user side is nearly
+/// uniform (e.g., the Amazon review graph of the case study).
+BipartiteGraph PowerLawBipartiteAsym(size_t num_left, size_t num_right,
+                                     size_t target_edges, double gamma_left,
+                                     double gamma_right, Rng* rng);
+
+/// Adds a dense planted block between `block_left` x `block_right` fresh
+/// vertices appended to `g`, where each block edge exists with probability
+/// `p_block`. Returns the enlarged graph; the planted vertices are the last
+/// `block_left` left ids and last `block_right` right ids. Used to build
+/// graphs with known large biplexes.
+BipartiteGraph PlantDenseBlock(const BipartiteGraph& g, size_t block_left,
+                               size_t block_right, double p_block, Rng* rng);
+
+/// A small handcrafted 5x5 bipartite graph in the spirit of the paper's
+/// running example (Figure 1): with k = 1 its initial solution is
+/// H0 = ({v4}, {u0..u4}) and it has a rich maximal 1-biplex structure.
+/// (The exact edge set of the paper's figure is not recoverable from the
+/// text; this graph reproduces the documented properties of the example.)
+BipartiteGraph RunningExampleGraph();
+
+}  // namespace kbiplex
+
+#endif  // KBIPLEX_GRAPH_GENERATORS_H_

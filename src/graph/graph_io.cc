@@ -1,0 +1,93 @@
+#include "graph/graph_io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+namespace kbiplex {
+namespace {
+
+bool IsCommentOrEmpty(const std::string& line) {
+  for (char c : line) {
+    if (c == ' ' || c == '\t' || c == '\r') continue;
+    return c == '%' || c == '#';
+  }
+  return true;  // blank line
+}
+
+}  // namespace
+
+LoadResult ParseEdgeList(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::vector<BipartiteGraph::Edge> edges;
+  uint64_t num_left = 0;
+  uint64_t num_right = 0;
+  bool have_header = false;
+  bool first_data_line = true;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (IsCommentOrEmpty(line)) continue;
+    std::istringstream ls(line);
+    uint64_t a = 0, b = 0, c = 0;
+    if (first_data_line) {
+      first_data_line = false;
+      if (ls >> a >> b >> c) {
+        // "L R M" header.
+        have_header = true;
+        num_left = a;
+        num_right = b;
+        continue;
+      }
+      ls.clear();
+      ls.str(line);
+    }
+    if (!(ls >> a >> b)) {
+      return {std::nullopt,
+              "parse error at line " + std::to_string(line_no) + ": '" +
+                  line + "'"};
+    }
+    if (have_header && (a >= num_left || b >= num_right)) {
+      return {std::nullopt, "vertex id out of declared range at line " +
+                                std::to_string(line_no)};
+    }
+    edges.emplace_back(static_cast<VertexId>(a), static_cast<VertexId>(b));
+    if (!have_header) {
+      num_left = std::max(num_left, a + 1);
+      num_right = std::max(num_right, b + 1);
+    }
+  }
+  return {BipartiteGraph::FromEdges(num_left, num_right, std::move(edges)),
+          ""};
+}
+
+LoadResult LoadEdgeList(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return {std::nullopt, "cannot open file: " + path};
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return ParseEdgeList(buf.str());
+}
+
+std::string ToEdgeListString(const BipartiteGraph& g) {
+  std::ostringstream out;
+  out << "% kbiplex bipartite edge list\n";
+  out << g.NumLeft() << " " << g.NumRight() << " " << g.NumEdges() << "\n";
+  for (VertexId l = 0; l < g.NumLeft(); ++l) {
+    for (VertexId r : g.LeftNeighbors(l)) {
+      out << l << " " << r << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string SaveEdgeList(const BipartiteGraph& g, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return "cannot open file for writing: " + path;
+  f << ToEdgeListString(g);
+  if (!f) return "write failure: " + path;
+  return "";
+}
+
+}  // namespace kbiplex

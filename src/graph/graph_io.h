@@ -1,0 +1,43 @@
+// Edge-list text I/O for bipartite graphs (KONECT-style format).
+//
+// Format accepted by Load():
+//   - lines starting with '%' or '#' are comments;
+//   - an optional first data line "L R M" declaring the side sizes and the
+//     edge count (the edge count is advisory);
+//   - every other data line is "l r": an edge between left vertex l and
+//     right vertex r (0-based). Without a header the side sizes are
+//     inferred as max id + 1.
+#ifndef KBIPLEX_GRAPH_GRAPH_IO_H_
+#define KBIPLEX_GRAPH_GRAPH_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "graph/bipartite_graph.h"
+
+namespace kbiplex {
+
+/// Result of a fallible I/O operation: a graph or an error message.
+struct LoadResult {
+  std::optional<BipartiteGraph> graph;
+  std::string error;  // non-empty iff !graph
+
+  bool ok() const { return graph.has_value(); }
+};
+
+/// Loads an edge-list file.
+LoadResult LoadEdgeList(const std::string& path);
+
+/// Parses an edge list from a string (same format as LoadEdgeList).
+LoadResult ParseEdgeList(const std::string& text);
+
+/// Writes `g` as an edge-list file with a "L R M" header line.
+/// Returns an empty string on success, an error message otherwise.
+std::string SaveEdgeList(const BipartiteGraph& g, const std::string& path);
+
+/// Serializes `g` into the edge-list text format.
+std::string ToEdgeListString(const BipartiteGraph& g);
+
+}  // namespace kbiplex
+
+#endif  // KBIPLEX_GRAPH_GRAPH_IO_H_

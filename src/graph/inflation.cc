@@ -1,0 +1,34 @@
+#include "graph/inflation.h"
+
+namespace kbiplex {
+
+size_t InflatedEdgeCount(const BipartiteGraph& g) {
+  const size_t nl = g.NumLeft();
+  const size_t nr = g.NumRight();
+  return nl * (nl - (nl > 0)) / 2 + nr * (nr - (nr > 0)) / 2 + g.NumEdges();
+}
+
+InflatedGraph Inflate(const BipartiteGraph& g) {
+  InflatedGraph out;
+  out.num_left = g.NumLeft();
+  const VertexId nl = static_cast<VertexId>(g.NumLeft());
+  const VertexId nr = static_cast<VertexId>(g.NumRight());
+  std::vector<GeneralGraph::Edge> edges;
+  edges.reserve(InflatedEdgeCount(g));
+  for (VertexId a = 0; a < nl; ++a) {
+    for (VertexId b = a + 1; b < nl; ++b) edges.emplace_back(a, b);
+  }
+  for (VertexId a = 0; a < nr; ++a) {
+    for (VertexId b = a + 1; b < nr; ++b) {
+      edges.emplace_back(nl + a, nl + b);
+    }
+  }
+  for (VertexId l = 0; l < nl; ++l) {
+    for (VertexId r : g.LeftNeighbors(l)) edges.emplace_back(l, nl + r);
+  }
+  out.graph = GeneralGraph::FromEdges(static_cast<size_t>(nl) + nr,
+                                      std::move(edges));
+  return out;
+}
+
+}  // namespace kbiplex

@@ -1,0 +1,43 @@
+// Graph inflation (Section 1 / Section 6 baselines): turn a bipartite graph
+// into a general graph by adding an edge between every pair of same-side
+// vertices. A k-biplex of the bipartite graph is exactly a (k+1)-plex of
+// the inflated graph, so maximal (k+1)-plex enumeration on the inflated
+// graph enumerates MBPs (the FaPlexen baseline). Inflation produces
+// Θ(|L|² + |R|²) edges; callers must bound input sizes.
+#ifndef KBIPLEX_GRAPH_INFLATION_H_
+#define KBIPLEX_GRAPH_INFLATION_H_
+
+#include "graph/bipartite_graph.h"
+#include "graph/general_graph.h"
+
+namespace kbiplex {
+
+/// The inflated general graph plus the mapping convention: general vertex
+/// ids [0, num_left) are the left side, [num_left, num_left + num_right)
+/// are the right side shifted by num_left.
+struct InflatedGraph {
+  GeneralGraph graph;
+  size_t num_left = 0;
+
+  /// Maps a general-graph vertex back to (side, bipartite id).
+  Side SideOf(VertexId v) const {
+    return v < num_left ? Side::kLeft : Side::kRight;
+  }
+  VertexId BipartiteId(VertexId v) const {
+    return v < num_left ? v : v - static_cast<VertexId>(num_left);
+  }
+  VertexId GeneralId(Side side, VertexId v) const {
+    return side == Side::kLeft ? v : v + static_cast<VertexId>(num_left);
+  }
+};
+
+/// Number of edges the inflation of `g` would contain; callers use it to
+/// refuse blow-ups (the paper observes Marvel's 96K edges inflate to >200M).
+size_t InflatedEdgeCount(const BipartiteGraph& g);
+
+/// Materializes the inflation of `g`.
+InflatedGraph Inflate(const BipartiteGraph& g);
+
+}  // namespace kbiplex
+
+#endif  // KBIPLEX_GRAPH_INFLATION_H_

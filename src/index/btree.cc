@@ -1,0 +1,175 @@
+#include "index/btree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace kbiplex {
+
+BTreeSet::BTreeSet(size_t order)
+    : order_(order < 4 ? 4 : order), size_(0),
+      root_(std::make_unique<Node>()) {}
+
+void BTreeSet::Clear() {
+  root_ = std::make_unique<Node>();
+  size_ = 0;
+}
+
+const BTreeSet::Node* BTreeSet::FindLeaf(std::string_view key) const {
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    size_t i = static_cast<size_t>(
+        std::upper_bound(node->keys.begin(), node->keys.end(), key) -
+        node->keys.begin());
+    node = node->children[i].get();
+  }
+  return node;
+}
+
+bool BTreeSet::Contains(std::string_view key) const {
+  const Node* leaf = FindLeaf(key);
+  return std::binary_search(leaf->keys.begin(), leaf->keys.end(), key);
+}
+
+void BTreeSet::SplitLeaf(Node* leaf, InsertResult* result) {
+  auto right = std::make_unique<Node>();
+  right->is_leaf = true;
+  const size_t mid = leaf->keys.size() / 2;
+  right->keys.assign(std::make_move_iterator(leaf->keys.begin() +
+                                             static_cast<ptrdiff_t>(mid)),
+                     std::make_move_iterator(leaf->keys.end()));
+  leaf->keys.resize(mid);
+  right->next_leaf = leaf->next_leaf;
+  leaf->next_leaf = right.get();
+  result->split = true;
+  result->split_key = right->keys.front();  // copy: stays in the right leaf
+  result->right = std::move(right);
+}
+
+void BTreeSet::SplitInternal(Node* node, InsertResult* result) {
+  auto right = std::make_unique<Node>();
+  right->is_leaf = false;
+  const size_t mid = node->keys.size() / 2;
+  // The middle key moves up; keys after it move right.
+  result->split = true;
+  result->split_key = std::move(node->keys[mid]);
+  right->keys.assign(
+      std::make_move_iterator(node->keys.begin() +
+                              static_cast<ptrdiff_t>(mid + 1)),
+      std::make_move_iterator(node->keys.end()));
+  node->keys.resize(mid);
+  right->children.assign(
+      std::make_move_iterator(node->children.begin() +
+                              static_cast<ptrdiff_t>(mid + 1)),
+      std::make_move_iterator(node->children.end()));
+  node->children.resize(mid + 1);
+  result->right = std::move(right);
+}
+
+BTreeSet::InsertResult BTreeSet::InsertInto(Node* node,
+                                            std::string_view key) {
+  InsertResult result;
+  if (node->is_leaf) {
+    auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+    if (it != node->keys.end() && *it == key) return result;  // duplicate
+    node->keys.insert(it, std::string(key));
+    result.inserted = true;
+    if (node->keys.size() > order_) SplitLeaf(node, &result);
+    return result;
+  }
+  size_t i = static_cast<size_t>(
+      std::upper_bound(node->keys.begin(), node->keys.end(), key) -
+      node->keys.begin());
+  InsertResult child = InsertInto(node->children[i].get(), key);
+  result.inserted = child.inserted;
+  if (child.split) {
+    node->keys.insert(node->keys.begin() + static_cast<ptrdiff_t>(i),
+                      std::move(child.split_key));
+    node->children.insert(
+        node->children.begin() + static_cast<ptrdiff_t>(i) + 1,
+        std::move(child.right));
+    if (node->keys.size() > order_) SplitInternal(node, &result);
+  }
+  return result;
+}
+
+bool BTreeSet::Insert(std::string_view key) {
+  InsertResult result = InsertInto(root_.get(), key);
+  if (result.split) {
+    auto new_root = std::make_unique<Node>();
+    new_root->is_leaf = false;
+    new_root->keys.push_back(std::move(result.split_key));
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(result.right));
+    root_ = std::move(new_root);
+  }
+  if (result.inserted) ++size_;
+  return result.inserted;
+}
+
+void BTreeSet::ForEach(
+    const std::function<void(std::string_view)>& fn) const {
+  // Walk to the leftmost leaf, then follow the leaf chain.
+  const Node* node = root_.get();
+  while (!node->is_leaf) node = node->children.front().get();
+  for (; node != nullptr; node = node->next_leaf) {
+    for (const std::string& k : node->keys) fn(k);
+  }
+}
+
+size_t BTreeSet::Height() const {
+  size_t h = 1;
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    node = node->children.front().get();
+    ++h;
+  }
+  return h;
+}
+
+size_t BTreeSet::LeafDepth() const { return Height(); }
+
+bool BTreeSet::CheckNode(const Node* node, const std::string* lo,
+                         const std::string* hi, size_t depth,
+                         size_t leaf_depth) const {
+  if (!std::is_sorted(node->keys.begin(), node->keys.end())) return false;
+  if (std::adjacent_find(node->keys.begin(), node->keys.end()) !=
+      node->keys.end()) {
+    return false;
+  }
+  for (const std::string& k : node->keys) {
+    if (lo != nullptr && k < *lo) return false;
+    if (hi != nullptr && k >= *hi) return false;
+  }
+  if (node->is_leaf) {
+    return depth == leaf_depth;  // all leaves at the same depth
+  }
+  if (node->children.size() != node->keys.size() + 1) return false;
+  if (node->keys.empty()) return false;
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    const std::string* clo = i == 0 ? lo : &node->keys[i - 1];
+    const std::string* chi = i == node->keys.size() ? hi : &node->keys[i];
+    if (!CheckNode(node->children[i].get(), clo, chi, depth + 1,
+                   leaf_depth)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool BTreeSet::CheckInvariants() const {
+  // Leaf-chain must reproduce the sorted key sequence.
+  size_t seen = 0;
+  std::string prev;
+  bool first = true;
+  bool ordered = true;
+  ForEach([&](std::string_view k) {
+    if (!first && std::string_view(prev) >= k) ordered = false;
+    prev = std::string(k);
+    first = false;
+    ++seen;
+  });
+  if (!ordered || seen != size_) return false;
+  return CheckNode(root_.get(), nullptr, nullptr, 1, LeafDepth());
+}
+
+}  // namespace kbiplex

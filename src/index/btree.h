@@ -1,0 +1,92 @@
+// In-memory B+-tree over byte-string keys with set semantics.
+//
+// The paper stores every discovered solution in a B-tree keyed by the
+// solution's vertex set (Algorithm 1, line 1) to deduplicate solutions that
+// are reached through multiple links of the solution graph. This is that
+// index: insert-if-absent, membership test, and ordered traversal. The
+// store only ever grows during an enumeration, so deletion is not part of
+// the interface (Clear() resets the whole tree).
+#ifndef KBIPLEX_INDEX_BTREE_H_
+#define KBIPLEX_INDEX_BTREE_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kbiplex {
+
+/// Insert-only ordered set of byte strings backed by a B+-tree.
+class BTreeSet {
+ public:
+  /// `order` = maximum number of keys per node (>= 4). Smaller orders are
+  /// useful in tests to force deep trees.
+  explicit BTreeSet(size_t order = 64);
+
+  BTreeSet(const BTreeSet&) = delete;
+  BTreeSet& operator=(const BTreeSet&) = delete;
+  BTreeSet(BTreeSet&&) = default;
+  BTreeSet& operator=(BTreeSet&&) = default;
+
+  /// Inserts `key` if absent. Returns true iff the key was inserted.
+  bool Insert(std::string_view key);
+
+  /// True iff `key` is present.
+  bool Contains(std::string_view key) const;
+
+  /// Number of stored keys.
+  size_t Size() const { return size_; }
+
+  bool Empty() const { return size_ == 0; }
+
+  /// Removes all keys.
+  void Clear();
+
+  /// Visits every key in ascending order.
+  void ForEach(const std::function<void(std::string_view)>& fn) const;
+
+  /// Height of the tree (1 for a single leaf). Exposed for tests.
+  size_t Height() const;
+
+  /// Validates B+-tree structural invariants (sorted keys, node fill,
+  /// leaf-link ordering). Exposed for tests; returns false on corruption.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    std::vector<std::string> keys;
+    // Internal nodes: children.size() == keys.size() + 1.
+    std::vector<std::unique_ptr<Node>> children;
+    // Leaf chaining for ordered scans.
+    Node* next_leaf = nullptr;
+  };
+
+  // Result of inserting into a subtree: if the node split, `split_key` and
+  // `right` carry the new separator and sibling.
+  struct InsertResult {
+    bool inserted = false;
+    bool split = false;
+    std::string split_key;
+    std::unique_ptr<Node> right;
+  };
+
+  InsertResult InsertInto(Node* node, std::string_view key);
+  void SplitLeaf(Node* leaf, InsertResult* result);
+  void SplitInternal(Node* node, InsertResult* result);
+  const Node* FindLeaf(std::string_view key) const;
+  bool CheckNode(const Node* node, const std::string* lo,
+                 const std::string* hi, size_t depth,
+                 size_t leaf_depth) const;
+  size_t LeafDepth() const;
+
+  size_t order_;
+  size_t size_;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace kbiplex
+
+#endif  // KBIPLEX_INDEX_BTREE_H_

@@ -1,0 +1,98 @@
+#include "util/dynamic_bitset.h"
+
+#include <bit>
+
+namespace kbiplex {
+namespace {
+constexpr size_t kWordBits = 64;
+
+size_t WordsFor(size_t bits) { return (bits + kWordBits - 1) / kWordBits; }
+}  // namespace
+
+DynamicBitset::DynamicBitset(size_t size)
+    : size_(size), words_(WordsFor(size), 0) {}
+
+void DynamicBitset::Resize(size_t size) {
+  size_ = size;
+  words_.resize(WordsFor(size), 0);
+  // Clear any stale bits beyond the new size in the last word.
+  if (size_ % kWordBits != 0 && !words_.empty()) {
+    words_.back() &= (1ULL << (size_ % kWordBits)) - 1;
+  }
+}
+
+void DynamicBitset::Reset() {
+  std::fill(words_.begin(), words_.end(), 0);
+}
+
+void DynamicBitset::SetAll() {
+  std::fill(words_.begin(), words_.end(), ~0ULL);
+  if (size_ % kWordBits != 0 && !words_.empty()) {
+    words_.back() = (1ULL << (size_ % kWordBits)) - 1;
+  }
+}
+
+size_t DynamicBitset::Count() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+  return n;
+}
+
+bool DynamicBitset::None() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+bool DynamicBitset::IsSubsetOf(const DynamicBitset& other) const {
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & ~other.words_[i]) return false;
+  }
+  return true;
+}
+
+bool DynamicBitset::Intersects(const DynamicBitset& other) const {
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & other.words_[i]) return true;
+  }
+  return false;
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator-=(const DynamicBitset& other) {
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+size_t DynamicBitset::FindNext(size_t from) const {
+  if (from >= size_) return size_;
+  size_t wi = from >> 6;
+  uint64_t w = words_[wi] & (~0ULL << (from & 63));
+  while (true) {
+    if (w != 0) {
+      size_t bit = (wi << 6) +
+                   static_cast<size_t>(std::countr_zero(w));
+      return bit < size_ ? bit : size_;
+    }
+    if (++wi >= words_.size()) return size_;
+    w = words_[wi];
+  }
+}
+
+void DynamicBitset::AppendSetBits(std::vector<uint32_t>* out) const {
+  for (size_t i = FindNext(0); i < size_; i = FindNext(i + 1)) {
+    out->push_back(static_cast<uint32_t>(i));
+  }
+}
+
+}  // namespace kbiplex

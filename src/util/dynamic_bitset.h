@@ -1,0 +1,88 @@
+// A compact runtime-sized bitset used for adjacency tests, candidate sets
+// and the exclusion sets of the traversal algorithms.
+#ifndef KBIPLEX_UTIL_DYNAMIC_BITSET_H_
+#define KBIPLEX_UTIL_DYNAMIC_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace kbiplex {
+
+/// Runtime-sized bitset with word-parallel set operations.
+class DynamicBitset {
+ public:
+  DynamicBitset() : size_(0) {}
+
+  /// Creates a bitset of `size` bits, all clear.
+  explicit DynamicBitset(size_t size);
+
+  /// Number of bits.
+  size_t size() const { return size_; }
+
+  /// Resizes to `size` bits; newly added bits are clear.
+  void Resize(size_t size);
+
+  /// Sets bit `i`.
+  void Set(size_t i) { words_[i >> 6] |= (1ULL << (i & 63)); }
+
+  /// Clears bit `i`.
+  void Clear(size_t i) { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+
+  /// Assigns bit `i`.
+  void Assign(size_t i, bool value) {
+    if (value) {
+      Set(i);
+    } else {
+      Clear(i);
+    }
+  }
+
+  /// Tests bit `i`.
+  bool Test(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  /// Clears every bit.
+  void Reset();
+
+  /// Sets every bit.
+  void SetAll();
+
+  /// Number of set bits.
+  size_t Count() const;
+
+  /// True iff no bit is set.
+  bool None() const;
+
+  /// True iff every set bit of *this is also set in `other`.
+  /// Requires identical sizes.
+  bool IsSubsetOf(const DynamicBitset& other) const;
+
+  /// True iff *this and `other` share at least one set bit.
+  /// Requires identical sizes.
+  bool Intersects(const DynamicBitset& other) const;
+
+  /// In-place union / intersection / difference. Require identical sizes.
+  DynamicBitset& operator|=(const DynamicBitset& other);
+  DynamicBitset& operator&=(const DynamicBitset& other);
+  DynamicBitset& operator-=(const DynamicBitset& other);
+
+  friend bool operator==(const DynamicBitset& a, const DynamicBitset& b) {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+  /// Index of the first set bit at or after `from`, or `size()` if none.
+  size_t FindNext(size_t from) const;
+
+  /// Appends the indices of all set bits to `out`.
+  void AppendSetBits(std::vector<uint32_t>* out) const;
+
+ private:
+  size_t size_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace kbiplex
+
+#endif  // KBIPLEX_UTIL_DYNAMIC_BITSET_H_

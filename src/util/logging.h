@@ -1,0 +1,48 @@
+// Minimal leveled logging for the library. Benchmarks and examples use it
+// for progress reporting; the core algorithms never log on hot paths.
+#ifndef KBIPLEX_UTIL_LOGGING_H_
+#define KBIPLEX_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace kbiplex {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+
+/// Current minimum level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Emits one formatted log line to stderr if `level` passes the filter.
+void LogMessage(LogLevel level, const std::string& message);
+
+/// Stream-style log statement collector.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define KBIPLEX_LOG(level) \
+  ::kbiplex::internal::LogStream(::kbiplex::LogLevel::level)
+
+}  // namespace kbiplex
+
+#endif  // KBIPLEX_UTIL_LOGGING_H_

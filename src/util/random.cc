@@ -1,0 +1,75 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace kbiplex {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int n) { return (x << n) | (x >> (64 - n)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  while (true) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(
+                  NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+std::vector<uint64_t> Rng::SampleDistinct(uint64_t universe, size_t count) {
+  std::vector<uint64_t> out;
+  out.reserve(count);
+  if (count * 3 >= universe) {
+    // Dense case: reservoir over the whole universe.
+    std::vector<uint64_t> all(universe);
+    for (uint64_t i = 0; i < universe; ++i) all[i] = i;
+    Shuffle(&all);
+    out.assign(all.begin(), all.begin() + static_cast<ptrdiff_t>(count));
+  } else {
+    std::unordered_set<uint64_t> seen;
+    while (seen.size() < count) seen.insert(NextBelow(universe));
+    out.assign(seen.begin(), seen.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace kbiplex

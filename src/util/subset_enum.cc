@@ -1,0 +1,79 @@
+#include "util/subset_enum.h"
+
+#include <algorithm>
+
+namespace kbiplex {
+
+bool ForEachCombination(
+    size_t n, size_t s,
+    const std::function<bool(const std::vector<size_t>&)>& fn) {
+  if (s > n) return true;
+  std::vector<size_t> comb(s);
+  for (size_t i = 0; i < s; ++i) comb[i] = i;
+  while (true) {
+    if (!fn(comb)) return false;
+    if (s == 0) return true;
+    // Advance to the next lexicographic combination.
+    size_t i = s;
+    while (i > 0 && comb[i - 1] == n - s + (i - 1)) --i;
+    if (i == 0) return true;
+    ++comb[i - 1];
+    for (size_t j = i; j < s; ++j) comb[j] = comb[j - 1] + 1;
+  }
+}
+
+BoundedSubsetEnumerator::BoundedSubsetEnumerator(size_t n, size_t max_size)
+    : n_(n), max_size_(std::min(max_size, n)), size_(0), started_(false) {}
+
+bool BoundedSubsetEnumerator::AdvanceCombination() {
+  if (!started_) {
+    started_ = true;
+    current_.clear();  // the empty subset, cardinality 0
+    return true;
+  }
+  while (true) {
+    // Try to advance within the current cardinality.
+    size_t s = size_;
+    if (s > 0) {
+      size_t i = s;
+      while (i > 0 && current_[i - 1] == n_ - s + (i - 1)) --i;
+      if (i > 0) {
+        ++current_[i - 1];
+        for (size_t j = i; j < s; ++j) current_[j] = current_[j - 1] + 1;
+        return true;
+      }
+    }
+    // Move to the next cardinality.
+    if (size_ >= max_size_) return false;
+    ++size_;
+    if (size_ > n_) return false;
+    current_.resize(size_);
+    for (size_t i = 0; i < size_; ++i) current_[i] = i;
+    return true;
+  }
+}
+
+bool BoundedSubsetEnumerator::IsPruned(
+    const std::vector<size_t>& subset) const {
+  for (const auto& base : pruned_bases_) {
+    if (base.size() <= subset.size() &&
+        std::includes(subset.begin(), subset.end(), base.begin(),
+                      base.end())) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool BoundedSubsetEnumerator::Next() {
+  while (AdvanceCombination()) {
+    if (!IsPruned(current_)) return true;
+  }
+  return false;
+}
+
+void BoundedSubsetEnumerator::PruneSupersetsOfCurrent() {
+  pruned_bases_.push_back(current_);
+}
+
+}  // namespace kbiplex

@@ -1,0 +1,62 @@
+// Bounded-cardinality subset enumeration used by EnumAlmostSat (Section 4 of
+// the paper): subsets are visited in ascending cardinality, and once a
+// subset is accepted every superset of it can be pruned (refinement L2.0).
+#ifndef KBIPLEX_UTIL_SUBSET_ENUM_H_
+#define KBIPLEX_UTIL_SUBSET_ENUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace kbiplex {
+
+/// Invokes `fn` with every size-`s` combination of indices {0, .., n-1},
+/// passed as a sorted index vector, in lexicographic order. `fn` returns
+/// false to stop early. Returns false iff stopped early.
+bool ForEachCombination(size_t n, size_t s,
+                        const std::function<bool(const std::vector<size_t>&)>& fn);
+
+/// Enumerates subsets of {0, .., n-1} with cardinality 0..max_size in
+/// ascending cardinality, supporting superset pruning: call
+/// PruneSupersetsOfCurrent() after Next() returned a subset S to skip every
+/// later subset that contains S.
+///
+/// Usage:
+///   BoundedSubsetEnumerator e(n, k);
+///   while (e.Next()) {
+///     const std::vector<size_t>& s = e.current();
+///     if (Accept(s)) e.PruneSupersetsOfCurrent();
+///   }
+class BoundedSubsetEnumerator {
+ public:
+  /// Enumerates subsets of a ground set of `n` elements with size at most
+  /// `max_size`.
+  BoundedSubsetEnumerator(size_t n, size_t max_size);
+
+  /// Advances to the next non-pruned subset; returns false when exhausted.
+  /// The empty subset is visited first.
+  bool Next();
+
+  /// The subset produced by the last successful Next(), as sorted indices.
+  const std::vector<size_t>& current() const { return current_; }
+
+  /// Marks the current subset as a "base": all of its supersets are skipped
+  /// by subsequent Next() calls.
+  void PruneSupersetsOfCurrent();
+
+ private:
+  bool AdvanceCombination();
+  bool IsPruned(const std::vector<size_t>& subset) const;
+
+  size_t n_;
+  size_t max_size_;
+  size_t size_;           // cardinality currently being enumerated
+  bool started_;
+  std::vector<size_t> current_;
+  std::vector<std::vector<size_t>> pruned_bases_;
+};
+
+}  // namespace kbiplex
+
+#endif  // KBIPLEX_UTIL_SUBSET_ENUM_H_

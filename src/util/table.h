@@ -1,0 +1,40 @@
+// Plain-text table rendering for the benchmark harness: every figure/table
+// reproduction prints rows in the same layout the paper reports.
+#ifndef KBIPLEX_UTIL_TABLE_H_
+#define KBIPLEX_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace kbiplex {
+
+/// Accumulates rows of string cells and renders an aligned text table.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, extra cells are kept.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with a header underline to `os`.
+  void Print(std::ostream& os) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats seconds for table cells: "INF" for negative (timed out),
+/// otherwise fixed/scientific depending on magnitude.
+std::string FormatSeconds(double seconds);
+
+/// Formats a double with `digits` significant decimals.
+std::string FormatDouble(double value, int digits = 3);
+
+}  // namespace kbiplex
+
+#endif  // KBIPLEX_UTIL_TABLE_H_

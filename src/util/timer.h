@@ -1,0 +1,51 @@
+// Simple wall-clock timing utilities.
+#ifndef KBIPLEX_UTIL_TIMER_H_
+#define KBIPLEX_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace kbiplex {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A soft deadline: algorithms poll Expired() and stop early when the
+/// configured budget has elapsed. A budget of <= 0 means "no limit".
+class Deadline {
+ public:
+  /// Creates a deadline `budget_seconds` from now (<= 0 disables it).
+  explicit Deadline(double budget_seconds) : budget_(budget_seconds) {}
+
+  /// True iff a limit is set and it has elapsed.
+  bool Expired() const {
+    return budget_ > 0 && timer_.ElapsedSeconds() >= budget_;
+  }
+
+  double ElapsedSeconds() const { return timer_.ElapsedSeconds(); }
+
+ private:
+  double budget_;
+  WallTimer timer_;
+};
+
+}  // namespace kbiplex
+
+#endif  // KBIPLEX_UTIL_TIMER_H_

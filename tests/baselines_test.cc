@@ -1,0 +1,295 @@
+#include <algorithm>
+#include <bit>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/imb.h"
+#include "baselines/inflation_enum.h"
+#include "baselines/kplex_enum.h"
+#include "core/brute_force.h"
+#include "graph/generators.h"
+#include "graph/inflation.h"
+#include "test_support.h"
+#include "util/random.h"
+
+namespace kbiplex {
+namespace {
+
+using testing_support::MakeRandomGraph;
+using testing_support::ToString;
+
+// ------------------------------------------------------ k-plex oracle -----
+
+/// Exhaustive maximal p-plex enumeration on graphs with <= 20 vertices.
+std::vector<std::vector<VertexId>> BruteForceMaximalKPlexes(
+    const GeneralGraph& g, int p) {
+  const size_t n = g.NumVertices();
+  EXPECT_LE(n, 20u);
+  std::vector<uint32_t> adj(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId u : g.Neighbors(v)) adj[v] |= 1u << u;
+  }
+  auto is_plex = [&](uint32_t mask) {
+    const int size = std::popcount(mask);
+    for (uint32_t bits = mask; bits != 0; bits &= bits - 1) {
+      const int v = std::countr_zero(bits);
+      const int deg = std::popcount(mask & adj[static_cast<size_t>(v)]);
+      if (size - deg > p) return false;
+    }
+    return true;
+  };
+  std::vector<std::vector<VertexId>> out;
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    if (!is_plex(mask)) continue;
+    bool maximal = true;
+    for (size_t v = 0; v < n && maximal; ++v) {
+      if ((mask >> v) & 1u) continue;
+      if (is_plex(mask | (1u << v))) maximal = false;
+    }
+    if (!maximal) continue;
+    std::vector<VertexId> set;
+    for (uint32_t bits = mask; bits != 0; bits &= bits - 1) {
+      set.push_back(static_cast<VertexId>(std::countr_zero(bits)));
+    }
+    out.push_back(std::move(set));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+GeneralGraph RandomGeneral(size_t n, double p, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<GeneralGraph::Edge> edges;
+  for (VertexId a = 0; a < n; ++a) {
+    for (VertexId b = a + 1; b < n; ++b) {
+      if (rng.NextBool(p)) edges.emplace_back(a, b);
+    }
+  }
+  return GeneralGraph::FromEdges(n, std::move(edges));
+}
+
+class KPlexSweep
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(KPlexSweep, MatchesBruteForce) {
+  const int p = std::get<0>(GetParam());
+  const uint64_t seed = std::get<1>(GetParam());
+  auto g = RandomGeneral(8, 0.4, seed * 3 + 1);
+  auto expect = BruteForceMaximalKPlexes(g, p);
+  std::vector<std::vector<VertexId>> got;
+  KPlexEnumOptions opts;
+  opts.p = p;
+  EnumerateMaximalKPlexes(g, opts, [&](const std::vector<VertexId>& s) {
+    got.push_back(s);
+    return true;
+  });
+  std::sort(got.begin(), got.end());
+  ASSERT_EQ(got, expect) << "p=" << p << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KPlexSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7)));
+
+TEST(KPlexEnum, MustContainFilters) {
+  auto g = RandomGeneral(8, 0.5, 9);
+  auto all = BruteForceMaximalKPlexes(g, 2);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    std::vector<std::vector<VertexId>> expect;
+    for (const auto& s : all) {
+      if (std::binary_search(s.begin(), s.end(), v)) expect.push_back(s);
+    }
+    std::vector<std::vector<VertexId>> got;
+    KPlexEnumOptions opts;
+    opts.p = 2;
+    opts.must_contain = v;
+    EnumerateMaximalKPlexes(g, opts, [&](const std::vector<VertexId>& s) {
+      got.push_back(s);
+      return true;
+    });
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, expect) << "v=" << v;
+  }
+}
+
+TEST(KPlexEnum, MinSizeFilters) {
+  auto g = RandomGeneral(9, 0.5, 11);
+  auto all = BruteForceMaximalKPlexes(g, 2);
+  KPlexEnumOptions opts;
+  opts.p = 2;
+  opts.min_size = 4;
+  std::vector<std::vector<VertexId>> got;
+  EnumerateMaximalKPlexes(g, opts, [&](const std::vector<VertexId>& s) {
+    got.push_back(s);
+    return true;
+  });
+  std::sort(got.begin(), got.end());
+  std::vector<std::vector<VertexId>> expect;
+  for (const auto& s : all) {
+    if (s.size() >= 4) expect.push_back(s);
+  }
+  ASSERT_EQ(got, expect);
+}
+
+TEST(KPlexEnum, CliquesWhenPIsOne) {
+  // p=1 plexes are cliques: triangle plus a pendant.
+  auto g = GeneralGraph::FromEdges(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  std::vector<std::vector<VertexId>> got;
+  KPlexEnumOptions opts;
+  opts.p = 1;
+  EnumerateMaximalKPlexes(g, opts, [&](const std::vector<VertexId>& s) {
+    got.push_back(s);
+    return true;
+  });
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<std::vector<VertexId>>{{0, 1, 2}, {2, 3}}));
+}
+
+TEST(KPlexEnum, PredicatesAgree) {
+  auto g = RandomGeneral(8, 0.5, 13);
+  for (const auto& s : BruteForceMaximalKPlexes(g, 2)) {
+    EXPECT_TRUE(IsKPlex(g, s, 2));
+    EXPECT_TRUE(IsMaximalKPlex(g, s, 2));
+  }
+}
+
+// -------------------------------------------------- inflation equivalence --
+
+// A k-biplex of G is exactly a (k+1)-plex of the inflation of G; maximal
+// sets correspond one-to-one.
+class InflationEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(InflationEquivalence, MaximalSetsCorrespond) {
+  const int k = std::get<0>(GetParam());
+  const uint64_t seed = std::get<1>(GetParam());
+  auto g = MakeRandomGraph({5, 5, 0.5, seed * 11});
+  InflatedGraph inf = Inflate(g);
+  auto plexes = BruteForceMaximalKPlexes(inf.graph, k + 1);
+  std::vector<Biplex> mapped;
+  for (const auto& s : plexes) {
+    Biplex b;
+    for (VertexId x : s) {
+      if (inf.SideOf(x) == Side::kLeft) {
+        b.left.push_back(inf.BipartiteId(x));
+      } else {
+        b.right.push_back(inf.BipartiteId(x));
+      }
+    }
+    mapped.push_back(std::move(b));
+  }
+  std::sort(mapped.begin(), mapped.end());
+  ASSERT_EQ(mapped, BruteForceMaximalBiplexes(g, k))
+      << "k=" << k << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, InflationEquivalence,
+    ::testing::Combine(::testing::Values(1, 2),
+                       ::testing::Values(0, 1, 2, 3, 4)));
+
+// ------------------------------------------------- inflation baseline -----
+
+class InflationBaselineSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(InflationBaselineSweep, MatchesBruteForce) {
+  const uint64_t seed = GetParam();
+  auto g = MakeRandomGraph({6, 5, 0.5, seed + 60});
+  for (int k = 1; k <= 2; ++k) {
+    std::vector<Biplex> got;
+    InflationBaselineOptions opts;
+    opts.k = k;
+    auto stats = RunInflationBaseline(g, opts, [&](const Biplex& b) {
+      got.push_back(b);
+      return true;
+    });
+    EXPECT_TRUE(stats.completed);
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, BruteForceMaximalBiplexes(g, k))
+        << "k=" << k << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InflationBaselineSweep,
+                         ::testing::Values(0, 1, 2, 3, 4, 5));
+
+TEST(InflationBaseline, OutGuardTriggers) {
+  Rng rng(3);
+  auto g = ErdosRenyiBipartite(100, 100, 300, &rng);
+  InflationBaselineOptions opts;
+  opts.k = 1;
+  opts.max_inflated_edges = 1000;  // far below the ~10200 required
+  auto stats = RunInflationBaseline(g, opts, [](const Biplex&) {
+    ADD_FAILURE() << "should not produce solutions";
+    return true;
+  });
+  EXPECT_TRUE(stats.out_of_budget);
+  EXPECT_FALSE(stats.completed);
+}
+
+// ----------------------------------------------------------------- iMB ----
+
+class ImbSweep
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(ImbSweep, MatchesBruteForce) {
+  const int k = std::get<0>(GetParam());
+  const uint64_t seed = std::get<1>(GetParam());
+  auto g = MakeRandomGraph({6, 5, 0.45, seed * 17 + 2});
+  std::vector<Biplex> got;
+  ImbOptions opts;
+  opts.k = k;
+  ImbStats stats = RunImb(g, opts, [&](const Biplex& b) {
+    got.push_back(b);
+    return true;
+  });
+  EXPECT_TRUE(stats.completed);
+  std::sort(got.begin(), got.end());
+  ASSERT_EQ(got, BruteForceMaximalBiplexes(g, k))
+      << "k=" << k << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ImbSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7)));
+
+TEST(Imb, SizeConstraintsFilterAndPrune) {
+  auto g = MakeRandomGraph({7, 7, 0.5, 123});
+  auto all = BruteForceMaximalBiplexes(g, 1);
+  ImbOptions opts;
+  opts.k = 1;
+  opts.theta_left = 2;
+  opts.theta_right = 3;
+  std::vector<Biplex> got;
+  ImbStats constrained = RunImb(g, opts, [&](const Biplex& b) {
+    got.push_back(b);
+    return true;
+  });
+  std::sort(got.begin(), got.end());
+  ASSERT_EQ(got, FilterBySize(all, 2, 3));
+  // Pruning must not expand the search tree.
+  ImbOptions unconstrained;
+  unconstrained.k = 1;
+  ImbStats full = RunImb(g, unconstrained, [](const Biplex&) { return true; });
+  EXPECT_LE(constrained.nodes, full.nodes);
+}
+
+TEST(Imb, MaxResultsStops) {
+  auto g = MakeRandomGraph({7, 7, 0.5, 9});
+  ImbOptions opts;
+  opts.k = 1;
+  opts.max_results = 2;
+  size_t count = 0;
+  ImbStats stats = RunImb(g, opts, [&](const Biplex&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 2u);
+  EXPECT_FALSE(stats.completed);
+}
+
+}  // namespace
+}  // namespace kbiplex

@@ -1,0 +1,201 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/biplex.h"
+#include "core/brute_force.h"
+#include "graph/generators.h"
+#include "test_support.h"
+#include "util/random.h"
+
+namespace kbiplex {
+namespace {
+
+using testing_support::MakeGraph;
+using testing_support::MakeRandomGraph;
+using testing_support::RandomGraphCase;
+using testing_support::ToString;
+
+TEST(BiplexKey, RoundTrip) {
+  Biplex b{{1, 5, 9}, {0, 2}};
+  Biplex back = DecodeBiplexKey(EncodeBiplexKey(b));
+  EXPECT_EQ(back, b);
+}
+
+TEST(BiplexKey, EmptySides) {
+  Biplex b;
+  EXPECT_EQ(DecodeBiplexKey(EncodeBiplexKey(b)), b);
+  Biplex l{{3}, {}};
+  EXPECT_EQ(DecodeBiplexKey(EncodeBiplexKey(l)), l);
+  Biplex r{{}, {7}};
+  EXPECT_EQ(DecodeBiplexKey(EncodeBiplexKey(r)), r);
+}
+
+TEST(BiplexKey, DistinctBiplexesDistinctKeys) {
+  // (|L|, ids...) framing distinguishes {1|2} from {1 2|}.
+  Biplex a{{1}, {2}};
+  Biplex b{{1, 2}, {}};
+  EXPECT_NE(EncodeBiplexKey(a), EncodeBiplexKey(b));
+}
+
+TEST(IsKBiplex, Definition) {
+  // Complete 2x2 minus one edge.
+  auto g = MakeGraph(2, 2, {{0, 0}, {0, 1}, {1, 0}});
+  Biplex all{{0, 1}, {0, 1}};
+  EXPECT_FALSE(IsKBiplex(g, all, 0));
+  EXPECT_TRUE(IsKBiplex(g, all, 1));
+  Biplex sub{{0}, {0, 1}};
+  EXPECT_TRUE(IsKBiplex(g, sub, 0));
+}
+
+TEST(IsKBiplex, EmptySidesAreAlwaysBiplexes) {
+  auto g = MakeGraph(2, 2, {});
+  EXPECT_TRUE(IsKBiplex(g, Biplex{}, 1));
+  EXPECT_TRUE(IsKBiplex(g, Biplex{{0, 1}, {}}, 1));
+  EXPECT_TRUE(IsKBiplex(g, Biplex{{}, {0, 1}}, 1));
+}
+
+TEST(HereditaryProperty, SubgraphsOfBiplexesAreBiplexes) {
+  Rng rng(21);
+  auto g = ErdosRenyiProbBipartite(6, 6, 0.5, &rng);
+  auto solutions = BruteForceMaximalBiplexes(g, 1);
+  for (const Biplex& b : solutions) {
+    // Drop each single vertex; the rest must stay a 1-biplex.
+    for (VertexId v : b.left) {
+      Biplex sub = b;
+      sorted::Erase(&sub.left, v);
+      EXPECT_TRUE(IsKBiplex(g, sub, 1)) << ToString(sub);
+    }
+    for (VertexId u : b.right) {
+      Biplex sub = b;
+      sorted::Erase(&sub.right, u);
+      EXPECT_TRUE(IsKBiplex(g, sub, 1)) << ToString(sub);
+    }
+  }
+}
+
+TEST(CanAdd, RespectsBothSidesBudgets) {
+  // g: left {0,1}, right {0,1,2}; edges make right 0 miss both lefts.
+  auto g = MakeGraph(2, 3, {{0, 1}, {0, 2}, {1, 1}, {1, 2}});
+  Biplex b{{0, 1}, {1, 2}};
+  ASSERT_TRUE(IsKBiplex(g, b, 1));
+  // Adding right 0 gives it two disconnections (k=1 forbids).
+  EXPECT_FALSE(CanAdd(g, b, Side::kRight, 0, 1));
+  EXPECT_TRUE(CanAdd(g, b, Side::kRight, 0, 2));
+}
+
+TEST(CanAdd, MemberNotAddable) {
+  auto g = MakeGraph(2, 2, {{0, 0}, {1, 1}});
+  Biplex b{{0}, {0}};
+  EXPECT_FALSE(CanAdd(g, b, Side::kLeft, 0, 1));
+}
+
+TEST(IsMaximalKBiplex, AgreesWithBruteForceDefinition) {
+  Rng rng(33);
+  auto g = ErdosRenyiProbBipartite(5, 5, 0.5, &rng);
+  auto maximal = BruteForceMaximalBiplexes(g, 1);
+  for (const Biplex& b : maximal) {
+    EXPECT_TRUE(IsMaximalKBiplex(g, b, 1)) << ToString(b);
+  }
+  // A strict subset of a maximal solution is not maximal.
+  for (const Biplex& b : maximal) {
+    if (b.left.empty()) continue;
+    Biplex sub = b;
+    sub.left.erase(sub.left.begin());
+    EXPECT_FALSE(IsMaximalKBiplex(g, sub, 1)) << ToString(sub);
+  }
+}
+
+TEST(MaximalExtender, ExtendsToMaximal) {
+  Rng rng(44);
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    auto g = MakeRandomGraph({6, 6, 0.4, seed});
+    MaximalExtender ext(g, 1);
+    Biplex b;  // empty seed
+    ext.Extend(&b, true, true);
+    EXPECT_TRUE(IsMaximalKBiplex(g, b, 1)) << "seed=" << seed << ToString(b);
+  }
+}
+
+TEST(MaximalExtender, DeterministicForSameSeed) {
+  auto g = RunningExampleGraph();
+  MaximalExtender ext(g, 1);
+  Biplex a{{1}, {0, 1}};
+  Biplex b = a;
+  ext.Extend(&a, true, true);
+  ext.Extend(&b, true, true);
+  EXPECT_EQ(a, b);
+}
+
+TEST(MaximalExtender, GrowLeftOnlyKeepsRightFixed) {
+  auto g = RunningExampleGraph();
+  MaximalExtender ext(g, 1);
+  Biplex b{{}, {0, 1, 2, 3, 4}};
+  ext.Extend(&b, /*grow_left=*/true, /*grow_right=*/false);
+  EXPECT_EQ(b.right.size(), 5u);
+  // v4 misses only u4, so it joins; all others miss >= 2.
+  EXPECT_EQ(b.left, (std::vector<VertexId>{4}));
+  EXPECT_TRUE(IsKBiplex(g, b, 1));
+}
+
+TEST(MaximalExtender, ExtensionPreservesSeed) {
+  Rng rng(55);
+  auto g = ErdosRenyiProbBipartite(7, 7, 0.5, &rng);
+  MaximalExtender ext(g, 2);
+  Biplex seed{{2}, {3}};
+  ASSERT_TRUE(IsKBiplex(g, seed, 2));
+  Biplex out = seed;
+  ext.Extend(&out, true, true);
+  EXPECT_TRUE(sorted::IsSubset(seed.left, out.left));
+  EXPECT_TRUE(sorted::IsSubset(seed.right, out.right));
+  EXPECT_TRUE(IsMaximalKBiplex(g, out, 2));
+}
+
+TEST(MaximalExtender, AnyAddableMatchesDefinition) {
+  Rng rng(66);
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    auto g = MakeRandomGraph({5, 5, 0.5, seed + 100});
+    MaximalExtender ext(g, 1);
+    for (const Biplex& b : BruteForceMaximalBiplexes(g, 1)) {
+      EXPECT_FALSE(ext.AnyAddable(b, Side::kLeft));
+      EXPECT_FALSE(ext.AnyAddable(b, Side::kRight));
+    }
+  }
+}
+
+// Property sweep: for random k-biplex seeds, Extend yields a maximal
+// k-biplex containing the seed.
+class ExtenderSweep
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(ExtenderSweep, ExtendAlwaysMaximal) {
+  const int k = std::get<0>(GetParam());
+  const uint64_t seed = std::get<1>(GetParam());
+  auto g = MakeRandomGraph({6, 5, 0.45, seed});
+  MaximalExtender ext(g, k);
+  Rng rng(seed * 31 + 7);
+  for (int trial = 0; trial < 10; ++trial) {
+    Biplex seed_bp;
+    for (VertexId v = 0; v < g.NumLeft(); ++v) {
+      if (rng.NextBool(0.3)) seed_bp.left.push_back(v);
+    }
+    for (VertexId u = 0; u < g.NumRight(); ++u) {
+      if (rng.NextBool(0.3)) seed_bp.right.push_back(u);
+    }
+    if (!IsKBiplex(g, seed_bp, k)) continue;
+    Biplex out = seed_bp;
+    ext.Extend(&out, true, true);
+    ASSERT_TRUE(IsMaximalKBiplex(g, out, k))
+        << "k=" << k << " seed=" << seed << " " << ToString(out);
+    ASSERT_TRUE(sorted::IsSubset(seed_bp.left, out.left));
+    ASSERT_TRUE(sorted::IsSubset(seed_bp.right, out.right));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExtenderSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8)));
+
+}  // namespace
+}  // namespace kbiplex

@@ -1,0 +1,145 @@
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "index/btree.h"
+#include "util/random.h"
+
+namespace kbiplex {
+namespace {
+
+TEST(BTreeSet, EmptyTree) {
+  BTreeSet t;
+  EXPECT_TRUE(t.Empty());
+  EXPECT_EQ(t.Size(), 0u);
+  EXPECT_FALSE(t.Contains("x"));
+  EXPECT_TRUE(t.CheckInvariants());
+}
+
+TEST(BTreeSet, InsertAndContains) {
+  BTreeSet t;
+  EXPECT_TRUE(t.Insert("b"));
+  EXPECT_TRUE(t.Insert("a"));
+  EXPECT_TRUE(t.Insert("c"));
+  EXPECT_FALSE(t.Insert("a"));  // duplicate
+  EXPECT_EQ(t.Size(), 3u);
+  EXPECT_TRUE(t.Contains("a"));
+  EXPECT_TRUE(t.Contains("b"));
+  EXPECT_TRUE(t.Contains("c"));
+  EXPECT_FALSE(t.Contains("d"));
+}
+
+TEST(BTreeSet, OrderedIteration) {
+  BTreeSet t(4);  // small order to force splits
+  std::vector<std::string> keys = {"pear", "apple", "fig", "kiwi", "date",
+                                   "plum", "lime", "mango"};
+  for (const auto& k : keys) t.Insert(k);
+  std::vector<std::string> seen;
+  t.ForEach([&](std::string_view k) { seen.emplace_back(k); });
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(seen, keys);
+}
+
+TEST(BTreeSet, SplitsGrowHeight) {
+  BTreeSet t(4);
+  EXPECT_EQ(t.Height(), 1u);
+  for (int i = 0; i < 100; ++i) {
+    t.Insert("key" + std::to_string(i));
+  }
+  EXPECT_GT(t.Height(), 1u);
+  EXPECT_EQ(t.Size(), 100u);
+  EXPECT_TRUE(t.CheckInvariants());
+}
+
+TEST(BTreeSet, Clear) {
+  BTreeSet t(4);
+  for (int i = 0; i < 50; ++i) t.Insert(std::to_string(i));
+  t.Clear();
+  EXPECT_TRUE(t.Empty());
+  EXPECT_FALSE(t.Contains("1"));
+  EXPECT_TRUE(t.Insert("1"));
+  EXPECT_TRUE(t.CheckInvariants());
+}
+
+TEST(BTreeSet, BinaryKeysWithEmbeddedNuls) {
+  BTreeSet t;
+  std::string a("\x00\x01", 2);
+  std::string b("\x00\x02", 2);
+  std::string c("\x00", 1);
+  EXPECT_TRUE(t.Insert(a));
+  EXPECT_TRUE(t.Insert(b));
+  EXPECT_TRUE(t.Insert(c));
+  EXPECT_EQ(t.Size(), 3u);
+  EXPECT_TRUE(t.Contains(a));
+  EXPECT_TRUE(t.Contains(c));
+  std::vector<std::string> seen;
+  t.ForEach([&](std::string_view k) { seen.emplace_back(k); });
+  EXPECT_EQ(seen[0], c);  // shortest prefix first
+}
+
+TEST(BTreeSet, EmptyKeySupported) {
+  BTreeSet t;
+  EXPECT_TRUE(t.Insert(""));
+  EXPECT_FALSE(t.Insert(""));
+  EXPECT_TRUE(t.Contains(""));
+}
+
+class BTreeRandomTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BTreeRandomTest, MatchesStdSet) {
+  const size_t order = GetParam();
+  BTreeSet t(order);
+  std::set<std::string> reference;
+  Rng rng(order * 1000 + 17);
+  for (int i = 0; i < 3000; ++i) {
+    // Random short binary keys with many collisions.
+    std::string key;
+    size_t len = rng.NextBelow(6);
+    for (size_t j = 0; j < len; ++j) {
+      key.push_back(static_cast<char>(rng.NextBelow(8)));
+    }
+    bool inserted_ref = reference.insert(key).second;
+    bool inserted_tree = t.Insert(key);
+    ASSERT_EQ(inserted_tree, inserted_ref) << "iteration " << i;
+  }
+  ASSERT_EQ(t.Size(), reference.size());
+  std::vector<std::string> seen;
+  t.ForEach([&](std::string_view k) { seen.emplace_back(k); });
+  std::vector<std::string> expect(reference.begin(), reference.end());
+  ASSERT_EQ(seen, expect);
+  ASSERT_TRUE(t.CheckInvariants());
+  for (const auto& k : reference) ASSERT_TRUE(t.Contains(k));
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, BTreeRandomTest,
+                         ::testing::Values(4, 5, 8, 16, 64));
+
+TEST(BTreeSet, LargeSequentialInsert) {
+  BTreeSet t(8);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    std::string key(4, '\0');
+    key[0] = static_cast<char>((i >> 24) & 0xff);
+    key[1] = static_cast<char>((i >> 16) & 0xff);
+    key[2] = static_cast<char>((i >> 8) & 0xff);
+    key[3] = static_cast<char>(i & 0xff);
+    ASSERT_TRUE(t.Insert(key));
+  }
+  EXPECT_EQ(t.Size(), static_cast<size_t>(n));
+  EXPECT_TRUE(t.CheckInvariants());
+  // Keys come back in numeric order thanks to big-endian encoding.
+  int expect = 0;
+  t.ForEach([&](std::string_view k) {
+    int v = (static_cast<unsigned char>(k[0]) << 24) |
+            (static_cast<unsigned char>(k[1]) << 16) |
+            (static_cast<unsigned char>(k[2]) << 8) |
+            static_cast<unsigned char>(k[3]);
+    EXPECT_EQ(v, expect++);
+  });
+}
+
+}  // namespace
+}  // namespace kbiplex

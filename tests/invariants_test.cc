@@ -1,0 +1,195 @@
+// Cross-cutting invariant and integration tests: accounting identities of
+// the traversal statistics, agreement between independent enumerator
+// implementations, DelayTracker behaviour, and pinned regression values on
+// the running-example graph.
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baselines/imb.h"
+#include "baselines/inflation_enum.h"
+#include "core/brute_force.h"
+#include "core/btraversal.h"
+#include "core/delay_tracker.h"
+#include "graph/generators.h"
+#include "test_support.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace kbiplex {
+namespace {
+
+using testing_support::MakeRandomGraph;
+
+// ------------------------------------------------ stats accounting --------
+
+// Every non-root solution is discovered through exactly one link, and every
+// other generated link is a duplicate hit, so for complete runs:
+//   links == (solutions_found - 1) + dedup_hits.
+TEST(StatsAccounting, LinkIdentityHoldsAcrossConfigs) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    auto g = MakeRandomGraph({6, 6, 0.5, seed * 3 + 11});
+    for (TraversalOptions opts :
+         {MakeBTraversalOptions(1), MakeITraversalLeftAnchoredOnlyOptions(1),
+          MakeITraversalNoExclusionOptions(1), MakeITraversalOptions(1)}) {
+      TraversalStats stats;
+      CollectSolutions(g, opts, &stats);
+      ASSERT_TRUE(stats.completed);
+      EXPECT_EQ(stats.links, stats.solutions_found - 1 + stats.dedup_hits)
+          << TraversalConfigName(opts) << " seed=" << seed;
+    }
+  }
+}
+
+TEST(StatsAccounting, EmittedEqualsFoundWithoutThetas) {
+  auto g = MakeRandomGraph({7, 6, 0.5, 21});
+  TraversalStats stats;
+  CollectSolutions(g, MakeITraversalOptions(2), &stats);
+  EXPECT_EQ(stats.solutions_emitted, stats.solutions_found);
+}
+
+TEST(StatsAccounting, PrunedLinkCountersOnlyUsedByTheirTechnique) {
+  auto g = MakeRandomGraph({6, 6, 0.5, 33});
+  TraversalStats bt;
+  CollectSolutions(g, MakeBTraversalOptions(1), &bt);
+  EXPECT_EQ(bt.links_pruned_right_shrinking, 0u);
+  EXPECT_EQ(bt.links_pruned_exclusion, 0u);
+  TraversalStats it;
+  CollectSolutions(g, MakeITraversalOptions(1), &it);
+  // On dense-enough random graphs the techniques actually fire.
+  EXPECT_GT(it.links_pruned_right_shrinking + it.links_pruned_exclusion, 0u);
+}
+
+// ------------------------------------------------ engine agreement --------
+
+TEST(EngineAgreement, ImbMatchesITraversalOnMediumGraphs) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Rng rng(seed + 900);
+    auto g = ErdosRenyiBipartite(11, 11, 35 + seed * 5, &rng);
+    for (int k = 1; k <= 2; ++k) {
+      std::vector<Biplex> imb;
+      ImbOptions opts;
+      opts.k = k;
+      RunImb(g, opts, [&](const Biplex& b) {
+        imb.push_back(b);
+        return true;
+      });
+      std::sort(imb.begin(), imb.end());
+      auto itr = CollectSolutions(g, MakeITraversalOptions(k));
+      ASSERT_EQ(imb, itr) << "k=" << k << " seed=" << seed;
+    }
+  }
+}
+
+TEST(EngineAgreement, InflationBaselineMatchesITraversalOnMediumGraphs) {
+  Rng rng(77);
+  auto g = ErdosRenyiBipartite(9, 9, 28, &rng);
+  std::vector<Biplex> inf;
+  InflationBaselineOptions opts;
+  opts.k = 1;
+  RunInflationBaseline(g, opts, [&](const Biplex& b) {
+    inf.push_back(b);
+    return true;
+  });
+  std::sort(inf.begin(), inf.end());
+  ASSERT_EQ(inf, CollectSolutions(g, MakeITraversalOptions(1)));
+}
+
+// ------------------------------------------------ running example ---------
+
+// Pinned regression values for the documented 5x5 running-example graph
+// (examples/quickstart prints the same enumeration).
+TEST(RunningExample, PinnedSolutionCount) {
+  auto g = RunningExampleGraph();
+  auto solutions = BruteForceMaximalBiplexes(g, 1);
+  EXPECT_EQ(solutions.size(), 17u);
+  EXPECT_EQ(CollectSolutions(g, MakeITraversalOptions(1)), solutions);
+  // H0 = ({v4}, all of R) is one of them.
+  Biplex h0{{4}, {0, 1, 2, 3, 4}};
+  EXPECT_TRUE(std::binary_search(solutions.begin(), solutions.end(), h0));
+}
+
+TEST(RunningExample, LinkCountsPinned) {
+  auto g = RunningExampleGraph();
+  std::vector<uint64_t> links;
+  for (const TraversalOptions& opts :
+       {MakeBTraversalOptions(1), MakeITraversalLeftAnchoredOnlyOptions(1),
+        MakeITraversalNoExclusionOptions(1), MakeITraversalOptions(1)}) {
+    TraversalStats stats;
+    CollectSolutions(g, opts, &stats);
+    links.push_back(stats.links);
+  }
+  // Strictly sparser as the techniques stack up, mirroring the paper's
+  // 76 -> 41 -> 21 -> 13 shape on its own Figure 1 graph.
+  EXPECT_GT(links[0], links[1]);
+  EXPECT_GT(links[1], links[2]);
+  EXPECT_GT(links[2], links[3]);
+}
+
+// ------------------------------------------------ delay tracker -----------
+
+TEST(DelayTracker, CountsOutputsAndGaps) {
+  DelayTracker d;
+  d.Start();
+  d.RecordOutput();
+  d.RecordOutput();
+  d.Finish();
+  EXPECT_EQ(d.outputs(), 2u);
+  EXPECT_GE(d.MaxDelaySeconds(), 0.0);
+  EXPECT_GE(d.MeanDelaySeconds(), 0.0);
+  EXPECT_LE(d.MeanDelaySeconds(), d.MaxDelaySeconds() + 1e-12);
+}
+
+TEST(DelayTracker, FinishIsIdempotent) {
+  DelayTracker d;
+  d.Start();
+  d.RecordOutput();
+  d.Finish();
+  const double max1 = d.MaxDelaySeconds();
+  d.Finish();
+  EXPECT_EQ(d.MaxDelaySeconds(), max1);
+}
+
+TEST(DelayTracker, StartResets) {
+  DelayTracker d;
+  d.Start();
+  d.RecordOutput();
+  d.Finish();
+  d.Start();
+  EXPECT_EQ(d.outputs(), 0u);
+}
+
+// ------------------------------------------------ budget interactions -----
+
+TEST(Budgets, DeadlineInsideEnumAlmostSatAborts) {
+  // A dense medium graph where single almost-satisfying graphs are
+  // expensive: the engine must respect a tiny budget promptly.
+  Rng rng(5);
+  auto g = ErdosRenyiBipartite(60, 60, 1400, &rng);
+  TraversalOptions opts = MakeBTraversalOptions(3);
+  opts.time_budget_seconds = 0.05;
+  WallTimer t;
+  TraversalStats stats;
+  CollectSolutions(g, opts, &stats);
+  EXPECT_FALSE(stats.completed);
+  EXPECT_LT(t.ElapsedSeconds(), 2.0);  // promptly, not eventually
+}
+
+TEST(Budgets, MaxResultsExactWithAlternatingOutput) {
+  Rng rng(6);
+  auto g = ErdosRenyiBipartite(12, 12, 48, &rng);
+  for (uint64_t cap : {1u, 2u, 5u, 9u}) {
+    TraversalOptions opts = MakeITraversalOptions(1);
+    opts.max_results = cap;
+    size_t n = 0;
+    RunTraversal(g, opts, [&](const Biplex&) {
+      ++n;
+      return true;
+    });
+    EXPECT_EQ(n, cap);
+  }
+}
+
+}  // namespace
+}  // namespace kbiplex

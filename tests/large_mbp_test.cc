@@ -1,0 +1,138 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/btraversal.h"
+#include "core/large_mbp.h"
+#include "graph/generators.h"
+#include "test_support.h"
+#include "util/random.h"
+
+namespace kbiplex {
+namespace {
+
+using testing_support::MakeRandomGraph;
+using testing_support::ToString;
+
+class LargeMbpSweep : public ::testing::TestWithParam<
+                          std::tuple<int, size_t, size_t, uint64_t>> {};
+
+TEST_P(LargeMbpSweep, MatchesFilteredBruteForce) {
+  const int k = std::get<0>(GetParam());
+  const size_t theta_l = std::get<1>(GetParam());
+  const size_t theta_r = std::get<2>(GetParam());
+  const uint64_t seed = std::get<3>(GetParam());
+  auto g = MakeRandomGraph({6, 6, 0.55, seed * 5 + 1});
+  const auto expect =
+      FilterBySize(BruteForceMaximalBiplexes(g, k), theta_l, theta_r);
+  for (bool core_reduction : {false, true}) {
+    LargeMbpOptions opts;
+    opts.k = KPair::Uniform(k);
+    opts.theta_left = theta_l;
+    opts.theta_right = theta_r;
+    opts.core_reduction = core_reduction;
+    auto got = CollectLargeMbps(g, opts);
+    ASSERT_EQ(got, expect)
+        << "k=" << k << " theta=(" << theta_l << "," << theta_r
+        << ") seed=" << seed << " core=" << core_reduction << "\ngot:\n"
+        << ToString(got) << "want:\n"
+        << ToString(expect);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LargeMbpSweep,
+    ::testing::Combine(::testing::Values(1, 2), ::testing::Values(1, 2, 3),
+                       ::testing::Values(1, 2, 3),
+                       ::testing::Values(0, 1, 2, 3)));
+
+TEST(LargeMbp, CoreReductionShrinksGraph) {
+  Rng rng(9);
+  auto base = ErdosRenyiBipartite(40, 40, 60, &rng);
+  auto g = PlantDenseBlock(base, 6, 6, 1.0, &rng);
+  LargeMbpOptions opts;
+  opts.k = KPair::Uniform(1);
+  opts.theta_left = 5;
+  opts.theta_right = 5;
+  LargeMbpStats stats;
+  auto got = CollectLargeMbps(g, opts, &stats);
+  // The dense block survives; most of the sparse base is peeled away.
+  EXPECT_LT(stats.core_left, g.NumLeft());
+  EXPECT_LT(stats.core_right, g.NumRight());
+  // The planted 6x6 complete block is a large MBP (possibly extended).
+  ASSERT_FALSE(got.empty());
+  bool contains_block = false;
+  for (const Biplex& b : got) {
+    bool all = true;
+    for (VertexId v = 40; v < 46 && all; ++v) {
+      all = sorted::Contains(b.left, v);
+    }
+    for (VertexId u = 40; u < 46 && all; ++u) {
+      all = sorted::Contains(b.right, u);
+    }
+    if (all) contains_block = true;
+  }
+  EXPECT_TRUE(contains_block);
+}
+
+TEST(LargeMbp, EmptyResultWhenThresholdTooHigh) {
+  Rng rng(10);
+  auto g = ErdosRenyiBipartite(15, 15, 30, &rng);
+  LargeMbpOptions opts;
+  opts.k = KPair::Uniform(1);
+  opts.theta_left = 10;
+  opts.theta_right = 10;
+  auto got = CollectLargeMbps(g, opts);
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(LargeMbp, SolutionsKeepOriginalIds) {
+  Rng rng(11);
+  auto base = ErdosRenyiBipartite(20, 20, 20, &rng);
+  auto g = PlantDenseBlock(base, 5, 5, 1.0, &rng);
+  LargeMbpOptions opts;
+  opts.k = KPair::Uniform(1);
+  opts.theta_left = 4;
+  opts.theta_right = 4;
+  for (const Biplex& b : CollectLargeMbps(g, opts)) {
+    EXPECT_TRUE(IsMaximalKBiplex(g, b, 1)) << ToString(b);
+    EXPECT_GE(b.left.size(), 4u);
+    EXPECT_GE(b.right.size(), 4u);
+  }
+}
+
+TEST(LargeMbp, PruningDoesLessWorkThanFiltering) {
+  Rng rng(12);
+  auto base = ErdosRenyiBipartite(20, 20, 60, &rng);
+  auto g = PlantDenseBlock(base, 5, 5, 1.0, &rng);
+  // Pruned run.
+  LargeMbpOptions opts;
+  opts.k = KPair::Uniform(1);
+  opts.theta_left = 4;
+  opts.theta_right = 4;
+  opts.core_reduction = false;  // isolate the Section 5 prunes
+  LargeMbpStats pruned;
+  auto got = CollectLargeMbps(g, opts, &pruned);
+  // Unpruned full enumeration with post-filtering.
+  TraversalOptions full = MakeITraversalOptions(1);
+  TraversalStats full_stats;
+  auto all = CollectSolutions(g, full, &full_stats);
+  ASSERT_EQ(got, FilterBySize(all, 4, 4));
+  EXPECT_LE(pruned.traversal.links, full_stats.links);
+  EXPECT_LE(pruned.traversal.local_solutions, full_stats.local_solutions);
+}
+
+TEST(LargeMbp, ThetaOneEqualsFullEnumerationNonEmptySides) {
+  auto g = MakeRandomGraph({6, 6, 0.5, 77});
+  LargeMbpOptions opts;
+  opts.k = KPair::Uniform(1);
+  opts.theta_left = 1;
+  opts.theta_right = 1;
+  auto got = CollectLargeMbps(g, opts);
+  auto expect = FilterBySize(BruteForceMaximalBiplexes(g, 1), 1, 1);
+  ASSERT_EQ(got, expect);
+}
+
+}  // namespace
+}  // namespace kbiplex

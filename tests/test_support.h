@@ -1,0 +1,57 @@
+// Shared helpers for the test suites.
+#ifndef KBIPLEX_TESTS_TEST_SUPPORT_H_
+#define KBIPLEX_TESTS_TEST_SUPPORT_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/biplex.h"
+#include "graph/bipartite_graph.h"
+#include "graph/generators.h"
+#include "util/random.h"
+
+namespace kbiplex {
+namespace testing_support {
+
+/// Builds a bipartite graph from an initializer-friendly edge list.
+inline BipartiteGraph MakeGraph(size_t nl, size_t nr,
+                                std::vector<BipartiteGraph::Edge> edges) {
+  return BipartiteGraph::FromEdges(nl, nr, std::move(edges));
+}
+
+/// Renders a biplex as "{l0 l1 | r0 r1}" for failure messages.
+inline std::string ToString(const Biplex& b) {
+  std::ostringstream os;
+  os << "{";
+  for (VertexId v : b.left) os << " " << v;
+  os << " |";
+  for (VertexId u : b.right) os << " " << u;
+  os << " }";
+  return os.str();
+}
+
+/// Renders a list of biplexes.
+inline std::string ToString(const std::vector<Biplex>& bs) {
+  std::ostringstream os;
+  for (const Biplex& b : bs) os << ToString(b) << "\n";
+  return os.str();
+}
+
+/// A reproducible family of small random graphs for property sweeps.
+struct RandomGraphCase {
+  size_t nl;
+  size_t nr;
+  double p;
+  uint64_t seed;
+};
+
+inline BipartiteGraph MakeRandomGraph(const RandomGraphCase& c) {
+  Rng rng(c.seed);
+  return ErdosRenyiProbBipartite(c.nl, c.nr, c.p, &rng);
+}
+
+}  // namespace testing_support
+}  // namespace kbiplex
+
+#endif  // KBIPLEX_TESTS_TEST_SUPPORT_H_
