@@ -6,6 +6,7 @@
 
 #include "graph/generators.h"
 #include "util/random.h"
+#include "util/table.h"
 
 namespace kbiplex {
 namespace bench {
@@ -93,6 +94,42 @@ bool QuickMode(int argc, char** argv) {
 }
 
 double RunBudgetSeconds(bool quick) { return quick ? 5.0 : 120.0; }
+
+EnumerateRequest MakeRequest(const std::string& algorithm, int k,
+                             uint64_t max_results, double budget_seconds) {
+  EnumerateRequest request;
+  request.algorithm = algorithm;
+  request.k = KPair::Uniform(k);
+  request.max_results = max_results;
+  request.time_budget_seconds = budget_seconds;
+  return request;
+}
+
+EnumerateStats RunCounting(const BipartiteGraph& g,
+                           const EnumerateRequest& request) {
+  CountingSink sink;
+  EnumerateStats stats = Enumerator(g).Run(request, &sink);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "bench request rejected (%s): %s\n",
+                 request.algorithm.c_str(), stats.error.c_str());
+    std::abort();
+  }
+  return stats;
+}
+
+bool FinishedFirstN(const EnumerateStats& stats, uint64_t max_results) {
+  return stats.completed ||
+         (max_results != 0 && stats.solutions >= max_results);
+}
+
+std::string BudgetCell(const EnumerateStats& stats, uint64_t max_results) {
+  if (stats.out_of_memory) return "OUT";
+  const bool finished = FinishedFirstN(stats, max_results);
+  if (!finished && stats.solutions == 0) return "INF";
+  std::string s = FormatSeconds(stats.seconds);
+  if (!finished) s += "*";
+  return s;
+}
 
 }  // namespace bench
 }  // namespace kbiplex

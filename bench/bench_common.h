@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "api/enumerator.h"
 #include "graph/bipartite_graph.h"
 
 namespace kbiplex {
@@ -60,6 +61,27 @@ bool QuickMode(int argc, char** argv);
 
 /// Time budget per algorithm invocation in seconds.
 double RunBudgetSeconds(bool quick);
+
+/// Builds the request shape every figure harness uses: an algorithm name,
+/// a uniform budget k, a result cap, and a wall-clock budget.
+EnumerateRequest MakeRequest(const std::string& algorithm, int k,
+                             uint64_t max_results, double budget_seconds);
+
+/// Runs `request` on `g` through the facade, counting solutions without
+/// materializing them. Aborts on rejected requests: a bench asking for an
+/// impossible configuration is a bug in the bench.
+EnumerateStats RunCounting(const BipartiteGraph& g,
+                           const EnumerateRequest& request);
+
+/// The paper's notion of a finished "first N MBPs" run: the enumeration
+/// completed, or it stopped exactly because the result cap was reached.
+bool FinishedFirstN(const EnumerateStats& stats, uint64_t max_results);
+
+/// Formats a budgeted run the way the paper's tables mark outcomes:
+/// "OUT" when inflation refused the memory blow-up, "INF" when the budget
+/// expired before any output, the runtime otherwise ("*"-suffixed after
+/// partial output).
+std::string BudgetCell(const EnumerateStats& stats, uint64_t max_results);
 
 }  // namespace bench
 }  // namespace kbiplex

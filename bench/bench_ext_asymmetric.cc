@@ -7,9 +7,7 @@
 #include <string>
 
 #include "bench_common.h"
-#include "core/btraversal.h"
 #include "util/table.h"
-#include "util/timer.h"
 
 using namespace kbiplex;
 using namespace kbiplex::bench;
@@ -24,21 +22,14 @@ int main(int argc, char** argv) {
   TextTable t({"k_l", "k_r", "time (s)", "#returned"});
   for (int kl = 1; kl <= 2; ++kl) {
     for (int kr = 1; kr <= 3; ++kr) {
-      TraversalOptions opts = MakeITraversalOptions(1);
-      opts.k = KPair{kl, kr};
-      opts.max_results = 1000;
-      opts.time_budget_seconds = budget;
-      WallTimer timer;
-      uint64_t n = 0;
-      TraversalStats stats = RunTraversal(g, opts, [&](const Biplex&) {
-        ++n;
-        return true;
-      });
-      const bool finished = stats.completed || n >= 1000;
+      EnumerateRequest req = MakeRequest("itraversal", 1, 1000, budget);
+      req.k = KPair{kl, kr};
+      EnumerateStats stats = RunCounting(g, req);
+      const bool finished = FinishedFirstN(stats, 1000);
       t.AddRow({std::to_string(kl), std::to_string(kr),
-                finished ? FormatSeconds(timer.ElapsedSeconds())
-                         : FormatSeconds(timer.ElapsedSeconds()) + "*",
-                std::to_string(n)});
+                finished ? FormatSeconds(stats.seconds)
+                         : FormatSeconds(stats.seconds) + "*",
+                std::to_string(stats.solutions)});
     }
   }
   t.Print(std::cout);

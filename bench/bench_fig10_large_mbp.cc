@@ -6,14 +6,11 @@
 #include <iostream>
 #include <string>
 
-#include "baselines/imb.h"
 #include "bench_common.h"
-#include "core/large_mbp.h"
+#include "graph/core_decomposition.h"
 #include "graph/generators.h"
 #include "util/random.h"
-#include "graph/core_decomposition.h"
 #include "util/table.h"
-#include "util/timer.h"
 
 using namespace kbiplex;
 using namespace kbiplex::bench;
@@ -37,34 +34,24 @@ Row RunTheta(const BipartiteGraph& g, int k, size_t theta, double budget) {
                              ? theta - static_cast<size_t>(k)
                              : 0;
     InducedSubgraph core = AlphaBetaCoreSubgraph(g, alpha, alpha);
-    ImbOptions opts;
-    opts.k = k;
-    opts.theta_left = theta;
-    opts.theta_right = theta;
-    opts.time_budget_seconds = budget;
-    WallTimer t;
-    ImbStats stats = RunImb(core.graph, opts, [&](const Biplex&) {
-      ++row.count_imb;
-      return true;
-    });
+    EnumerateRequest req = MakeRequest("imb", k, 0, budget);
+    req.theta_left = theta;
+    req.theta_right = theta;
+    EnumerateStats stats = RunCounting(core.graph, req);
+    row.count_imb = stats.solutions;
     row.complete_imb = stats.completed;
-    row.imb = stats.completed ? FormatSeconds(t.ElapsedSeconds()) : "INF";
+    row.imb = stats.completed ? FormatSeconds(stats.seconds) : "INF";
   }
-  // iTraversal extension (its wrapper performs the core reduction).
+  // iTraversal extension (its backend performs the core reduction).
   {
-    LargeMbpOptions opts;
-    opts.k = KPair::Uniform(k);
-    opts.theta_left = theta;
-    opts.theta_right = theta;
-    opts.time_budget_seconds = budget;
-    WallTimer t;
-    LargeMbpStats stats = EnumerateLargeMbps(g, opts, [&](const Biplex&) {
-      ++row.count_it;
-      return true;
-    });
+    EnumerateRequest req = MakeRequest("large-mbp", k, 0, budget);
+    req.theta_left = theta;
+    req.theta_right = theta;
+    EnumerateStats stats = RunCounting(g, req);
+    row.count_it = stats.solutions;
     row.complete_it = stats.completed;
     row.itraversal =
-        stats.completed ? FormatSeconds(t.ElapsedSeconds()) : "INF";
+        stats.completed ? FormatSeconds(stats.seconds) : "INF";
   }
   return row;
 }

@@ -10,9 +10,7 @@
 #include <vector>
 
 #include "bench_common.h"
-#include "core/btraversal.h"
 #include "util/table.h"
-#include "util/timer.h"
 
 using namespace kbiplex;
 using namespace kbiplex::bench;
@@ -24,34 +22,34 @@ struct Cells {
   std::string seconds;
 };
 
-Cells RunConfig(const BipartiteGraph& g, TraversalOptions opts,
+Cells RunConfig(const BipartiteGraph& g, const std::string& algo, int k,
                 double budget, uint64_t max_links) {
-  opts.time_budget_seconds = budget;
-  opts.max_links = max_links;
-  WallTimer t;
-  TraversalStats stats = RunTraversal(g, opts, [](const Biplex&) {
-    return true;
-  });
+  EnumerateRequest req = MakeRequest(algo, k, 0, budget);
+  req.max_links = max_links;
+  EnumerateStats stats = RunCounting(g, req);
+  const uint64_t links = stats.work_units;  // solution-graph links
   Cells c;
-  if (stats.links >= max_links) {
+  if (links >= max_links) {
     c.links = "UPP";
     c.seconds = "INF";
   } else if (!stats.completed) {
-    c.links = ">" + std::to_string(stats.links);
+    c.links = ">" + std::to_string(links);
     c.seconds = "INF";
   } else {
-    c.links = std::to_string(stats.links);
-    c.seconds = FormatSeconds(t.ElapsedSeconds());
+    c.links = std::to_string(links);
+    c.seconds = FormatSeconds(stats.seconds);
   }
   return c;
 }
 
-std::vector<std::pair<std::string, TraversalOptions>> Configs(int k) {
+// Display name -> registry name of the four Figure 11 configurations,
+// weakest to strongest.
+std::vector<std::pair<std::string, std::string>> Configs() {
   return {
-      {"bTraversal", MakeBTraversalOptions(k)},
-      {"iTraversal-ES-RS", MakeITraversalLeftAnchoredOnlyOptions(k)},
-      {"iTraversal-ES", MakeITraversalNoExclusionOptions(k)},
-      {"iTraversal", MakeITraversalOptions(k)},
+      {"bTraversal", "btraversal"},
+      {"iTraversal-ES-RS", "itraversal-es-rs"},
+      {"iTraversal-ES", "itraversal-es"},
+      {"iTraversal", "itraversal"},
   };
 }
 
@@ -67,8 +65,8 @@ int main(int argc, char** argv) {
   TextTable t({"Dataset", "Config", "#links", "time (s)"});
   for (const DatasetSpec& spec : SmallDatasets()) {
     BipartiteGraph g = MakeDataset(spec);
-    for (const auto& [name, opts] : Configs(1)) {
-      Cells c = RunConfig(g, opts, budget, kUpp);
+    for (const auto& [name, algo] : Configs()) {
+      Cells c = RunConfig(g, algo, 1, budget, kUpp);
       t.AddRow({spec.name, name, c.links, c.seconds});
     }
   }
@@ -79,8 +77,8 @@ int main(int argc, char** argv) {
   TextTable tk({"k", "Config", "#links", "time (s)"});
   const int kmax = quick ? 3 : 4;
   for (int k = 1; k <= kmax; ++k) {
-    for (const auto& [name, opts] : Configs(k)) {
-      Cells c = RunConfig(divorce, opts, budget, kUpp);
+    for (const auto& [name, algo] : Configs()) {
+      Cells c = RunConfig(divorce, algo, k, budget, kUpp);
       tk.AddRow({std::to_string(k), name, c.links, c.seconds});
     }
   }

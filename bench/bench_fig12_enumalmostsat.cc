@@ -13,7 +13,6 @@
 
 #include "baselines/inflation_enum.h"
 #include "bench_common.h"
-#include "core/btraversal.h"
 #include "core/enum_almost_sat.h"
 #include "util/random.h"
 #include "util/table.h"
@@ -32,14 +31,13 @@ struct Workload {
 
 std::vector<Workload> BuildWorkloads(const BipartiteGraph& g, int k,
                                      size_t count, uint64_t seed) {
-  TraversalOptions opts = MakeITraversalOptions(k);
-  opts.max_results = count;
-  opts.time_budget_seconds = 5;
+  EnumerateRequest req = MakeRequest("itraversal", k, count, 5);
   std::vector<Biplex> solutions;
-  RunTraversal(g, opts, [&](const Biplex& b) {
+  CallbackSink collect([&](const Biplex& b) {
     solutions.push_back(b);
     return true;
   });
+  Enumerator(g).Run(req, &collect);
   Rng rng(seed);
   std::vector<Workload> out;
   for (const Biplex& b : solutions) {
@@ -142,17 +140,12 @@ int main(int argc, char** argv) {
   for (const char* name : {"Writer", "DBLP"}) {
     BipartiteGraph g = MakeDataset(FindDataset(name));
     for (int k = 1; k <= 2; ++k) {
-      TraversalOptions left = MakeITraversalOptions(k);
-      left.max_results = 1000;
-      left.time_budget_seconds = RunBudgetSeconds(quick);
-      TraversalOptions right = left;
-      right.anchored_side = Side::kRight;
-      WallTimer tl;
-      RunTraversal(g, left, [](const Biplex&) { return true; });
-      const double lsec = tl.ElapsedSeconds();
-      WallTimer tr;
-      RunTraversal(g, right, [](const Biplex&) { return true; });
-      const double rsec = tr.ElapsedSeconds();
+      EnumerateRequest left =
+          MakeRequest("itraversal", k, 1000, RunBudgetSeconds(quick));
+      EnumerateRequest right = left;
+      right.backend_options["anchored_side"] = "right";
+      const double lsec = RunCounting(g, left).seconds;
+      const double rsec = RunCounting(g, right).seconds;
       ts.AddRow({name, std::to_string(k), FormatSeconds(lsec),
                  FormatSeconds(rsec)});
     }

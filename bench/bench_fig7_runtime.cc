@@ -5,85 +5,28 @@
 //   (d)(e) varying the number of returned MBPs.
 // Entries print INF when the per-run time budget was exhausted and OUT
 // when the inflation baseline refuses the memory blow-up, mirroring the
-// paper's INF/OUT markers.
-#include <cstdio>
+// paper's INF/OUT markers. All four algorithms run through the unified
+// Enumerator facade, selected by registry name.
 #include <iostream>
 #include <string>
 
-#include "baselines/imb.h"
-#include "baselines/inflation_enum.h"
 #include "bench_common.h"
-#include "core/btraversal.h"
 #include "util/table.h"
-#include "util/timer.h"
 
 using namespace kbiplex;
 using namespace kbiplex::bench;
 
 namespace {
 
-struct RunResult {
-  double seconds = 0;
-  bool finished = true;
-  bool out = false;  // inflation refused (memory guard)
-  uint64_t results = 0;
-};
-
-std::string Cell(const RunResult& r) {
-  if (r.out) return "OUT";
-  if (!r.finished && r.results == 0) return "INF";
-  std::string s = FormatSeconds(r.seconds);
-  if (!r.finished) s += "*";  // budget hit after partial output
-  return s;
-}
-
-RunResult RunImbBudget(const BipartiteGraph& g, int k, uint64_t max_results,
-                       double budget) {
-  ImbOptions opts;
-  opts.k = k;
-  opts.max_results = max_results;
-  opts.time_budget_seconds = budget;
-  WallTimer t;
-  uint64_t n = 0;
-  ImbStats stats = RunImb(g, opts, [&](const Biplex&) {
-    ++n;
-    return true;
-  });
-  // Reaching the result cap counts as success for "first N MBPs" runs.
-  const bool finished = stats.completed || n >= max_results;
-  return {t.ElapsedSeconds(), finished, false, n};
-}
-
-RunResult RunFaPlexen(const BipartiteGraph& g, int k, uint64_t max_results,
-                      double budget, size_t max_inflated_edges) {
-  InflationBaselineOptions opts;
-  opts.k = k;
-  opts.max_results = max_results;
-  opts.time_budget_seconds = budget;
-  opts.max_inflated_edges = max_inflated_edges;
-  WallTimer t;
-  uint64_t n = 0;
-  auto stats = RunInflationBaseline(g, opts, [&](const Biplex&) {
-    ++n;
-    return true;
-  });
-  const bool finished = stats.completed || n >= max_results;
-  return {t.ElapsedSeconds(), finished, stats.out_of_budget, n};
-}
-
-RunResult RunEngine(const BipartiteGraph& g, TraversalOptions opts,
-                    uint64_t max_results, double budget) {
-  opts.max_results = max_results;
-  opts.time_budget_seconds = budget;
-  WallTimer t;
-  uint64_t n = 0;
-  TraversalStats stats = RunTraversal(g, opts, [&](const Biplex&) {
-    ++n;
-    return true;
-  });
-  const bool finished =
-      stats.completed || (max_results != 0 && n >= max_results);
-  return {t.ElapsedSeconds(), finished, false, n};
+std::string Cell(const BipartiteGraph& g, const std::string& algo, int k,
+                 uint64_t max_results, double budget,
+                 size_t max_inflated_edges) {
+  EnumerateRequest req = MakeRequest(algo, k, max_results, budget);
+  if (algo == "inflation") {
+    req.backend_options["max_inflated_edges"] =
+        std::to_string(max_inflated_edges);
+  }
+  return BudgetCell(RunCounting(g, req), max_results);
 }
 
 }  // namespace
@@ -100,11 +43,11 @@ int main(int argc, char** argv) {
   TextTable ta({"Dataset", "iMB", "FaPlexen", "bTraversal", "iTraversal"});
   for (const DatasetSpec& spec : StandInDatasets()) {
     BipartiteGraph g = MakeDataset(spec);
-    RunResult imb = RunImbBudget(g, 1, kFirst, budget);
-    RunResult fap = RunFaPlexen(g, 1, kFirst, budget, kMaxInflatedEdges);
-    RunResult bt = RunEngine(g, MakeBTraversalOptions(1), kFirst, budget);
-    RunResult it = RunEngine(g, MakeITraversalOptions(1), kFirst, budget);
-    ta.AddRow({spec.name, Cell(imb), Cell(fap), Cell(bt), Cell(it)});
+    ta.AddRow({spec.name,
+               Cell(g, "imb", 1, kFirst, budget, kMaxInflatedEdges),
+               Cell(g, "inflation", 1, kFirst, budget, kMaxInflatedEdges),
+               Cell(g, "btraversal", 1, kFirst, budget, kMaxInflatedEdges),
+               Cell(g, "itraversal", 1, kFirst, budget, kMaxInflatedEdges)});
   }
   ta.Print(std::cout);
 
@@ -114,9 +57,9 @@ int main(int argc, char** argv) {
     BipartiteGraph g = MakeDataset(FindDataset(name));
     TextTable tk({"k", "bTraversal", "iTraversal"});
     for (int k = 1; k <= 5; ++k) {
-      RunResult bt = RunEngine(g, MakeBTraversalOptions(k), kFirst, budget);
-      RunResult it = RunEngine(g, MakeITraversalOptions(k), kFirst, budget);
-      tk.AddRow({std::to_string(k), Cell(bt), Cell(it)});
+      tk.AddRow({std::to_string(k),
+                 Cell(g, "btraversal", k, kFirst, budget, 0),
+                 Cell(g, "itraversal", k, kFirst, budget, 0)});
     }
     tk.Print(std::cout);
   }
@@ -127,9 +70,8 @@ int main(int argc, char** argv) {
     BipartiteGraph g = MakeDataset(FindDataset(name));
     TextTable tn({"#MBPs", "bTraversal", "iTraversal"});
     for (uint64_t n = 1; n <= 100000; n *= 10) {
-      RunResult bt = RunEngine(g, MakeBTraversalOptions(1), n, budget);
-      RunResult it = RunEngine(g, MakeITraversalOptions(1), n, budget);
-      tn.AddRow({std::to_string(n), Cell(bt), Cell(it)});
+      tn.AddRow({std::to_string(n), Cell(g, "btraversal", 1, n, budget, 0),
+                 Cell(g, "itraversal", 1, n, budget, 0)});
     }
     tn.Print(std::cout);
   }

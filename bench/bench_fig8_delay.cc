@@ -6,14 +6,12 @@
 // to keep this harness laptop-fast we measure the observed maximum delay
 // over a budgeted prefix of the enumeration (first 50k outputs or the time
 // budget) and mark entries produced by a partial run with '*'. Entries
-// with no output inside the budget print INF.
+// with no output inside the budget print INF. Every algorithm runs through
+// the unified Enumerator facade, selected by registry name.
 #include <iostream>
 #include <string>
 
-#include "baselines/imb.h"
-#include "baselines/inflation_enum.h"
 #include "bench_common.h"
-#include "core/btraversal.h"
 #include "core/delay_tracker.h"
 #include "util/table.h"
 
@@ -31,46 +29,16 @@ std::string DelayCell(const DelayTracker& d, bool completed) {
   return s;
 }
 
-std::string MeasureImb(const BipartiteGraph& g, int k, double budget) {
-  ImbOptions opts;
-  opts.k = k;
-  opts.time_budget_seconds = budget;
-  opts.max_results = kMaxOutputs;
+std::string Measure(const BipartiteGraph& g, const std::string& algo, int k,
+                    double budget) {
+  EnumerateRequest req = MakeRequest(algo, k, kMaxOutputs, budget);
   DelayTracker d;
   d.Start();
-  ImbStats stats = RunImb(g, opts, [&](const Biplex&) {
+  CallbackSink sink([&](const Biplex&) {
     d.RecordOutput();
     return true;
   });
-  if (stats.completed) d.Finish();
-  return DelayCell(d, stats.completed);
-}
-
-std::string MeasureFaPlexen(const BipartiteGraph& g, int k, double budget) {
-  InflationBaselineOptions opts;
-  opts.k = k;
-  opts.time_budget_seconds = budget;
-  opts.max_results = kMaxOutputs;
-  DelayTracker d;
-  d.Start();
-  auto stats = RunInflationBaseline(g, opts, [&](const Biplex&) {
-    d.RecordOutput();
-    return true;
-  });
-  if (stats.completed) d.Finish();
-  return DelayCell(d, stats.completed);
-}
-
-std::string MeasureEngine(const BipartiteGraph& g, TraversalOptions opts,
-                          double budget) {
-  opts.time_budget_seconds = budget;
-  opts.max_results = kMaxOutputs;
-  DelayTracker d;
-  d.Start();
-  TraversalStats stats = RunTraversal(g, opts, [&](const Biplex&) {
-    d.RecordOutput();
-    return true;
-  });
+  EnumerateStats stats = Enumerator(g).Run(req, &sink);
   if (stats.completed) d.Finish();
   return DelayCell(d, stats.completed);
 }
@@ -85,10 +53,10 @@ int main(int argc, char** argv) {
   TextTable ta({"Dataset", "iMB", "FaPlexen", "bTraversal", "iTraversal"});
   for (const DatasetSpec& spec : SmallDatasets()) {
     BipartiteGraph g = MakeDataset(spec);
-    ta.AddRow({spec.name, MeasureImb(g, 1, budget),
-               MeasureFaPlexen(g, 1, budget),
-               MeasureEngine(g, MakeBTraversalOptions(1), budget),
-               MeasureEngine(g, MakeITraversalOptions(1), budget)});
+    ta.AddRow({spec.name, Measure(g, "imb", 1, budget),
+               Measure(g, "inflation", 1, budget),
+               Measure(g, "btraversal", 1, budget),
+               Measure(g, "itraversal", 1, budget)});
   }
   ta.Print(std::cout);
 
@@ -97,10 +65,10 @@ int main(int argc, char** argv) {
   TextTable tk({"k", "iMB", "FaPlexen", "bTraversal", "iTraversal"});
   const int kmax = quick ? 3 : 4;
   for (int k = 1; k <= kmax; ++k) {
-    tk.AddRow({std::to_string(k), MeasureImb(divorce, k, budget),
-               MeasureFaPlexen(divorce, k, budget),
-               MeasureEngine(divorce, MakeBTraversalOptions(k), budget),
-               MeasureEngine(divorce, MakeITraversalOptions(k), budget)});
+    tk.AddRow({std::to_string(k), Measure(divorce, "imb", k, budget),
+               Measure(divorce, "inflation", k, budget),
+               Measure(divorce, "btraversal", k, budget),
+               Measure(divorce, "itraversal", k, budget)});
   }
   tk.Print(std::cout);
 

@@ -7,29 +7,24 @@
 #include <string>
 
 #include "bench_common.h"
-#include "core/btraversal.h"
 #include "graph/generators.h"
 #include "util/random.h"
 #include "util/table.h"
-#include "util/timer.h"
 
 using namespace kbiplex;
 using namespace kbiplex::bench;
 
 namespace {
 
-std::string RunCell(const BipartiteGraph& g, TraversalOptions opts,
+std::string RunCell(const BipartiteGraph& g, const std::string& algo,
                     double budget) {
-  opts.max_results = 1000;
-  opts.time_budget_seconds = budget;
-  WallTimer t;
-  uint64_t n = 0;
-  TraversalStats stats = RunTraversal(g, opts, [&](const Biplex&) {
-    ++n;
-    return true;
-  });
-  if (!stats.completed && n < 1000 && stats.seconds >= budget) return "INF";
-  return FormatSeconds(t.ElapsedSeconds());
+  EnumerateStats stats =
+      RunCounting(g, MakeRequest(algo, 1, 1000, budget));
+  if (!stats.completed && stats.solutions < 1000 &&
+      stats.seconds >= budget) {
+    return "INF";
+  }
+  return FormatSeconds(stats.seconds);
 }
 
 BipartiteGraph MakeEr(size_t vertices, double density, uint64_t seed) {
@@ -57,9 +52,8 @@ int main(int argc, char** argv) {
                                                         10'000'000};
   for (size_t n : sizes) {
     BipartiteGraph g = MakeEr(n, 10.0, 42 + n);
-    ta.AddRow({std::to_string(n),
-               RunCell(g, MakeBTraversalOptions(1), budget),
-               RunCell(g, MakeITraversalOptions(1), budget)});
+    ta.AddRow({std::to_string(n), RunCell(g, "btraversal", budget),
+               RunCell(g, "itraversal", budget)});
   }
   ta.Print(std::cout);
 
@@ -70,9 +64,8 @@ int main(int argc, char** argv) {
   TextTable tb({"density", "bTraversal", "iTraversal"});
   for (double density : {0.1, 1.0, 10.0, 100.0}) {
     BipartiteGraph g = MakeEr(fixed_n, density, 77);
-    tb.AddRow({FormatDouble(density, 1),
-               RunCell(g, MakeBTraversalOptions(1), budget),
-               RunCell(g, MakeITraversalOptions(1), budget)});
+    tb.AddRow({FormatDouble(density, 1), RunCell(g, "btraversal", budget),
+               RunCell(g, "itraversal", budget)});
   }
   tb.Print(std::cout);
 

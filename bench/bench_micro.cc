@@ -6,7 +6,6 @@
 
 #include "bench_common.h"
 #include "core/biplex.h"
-#include "core/btraversal.h"
 #include "core/enum_almost_sat.h"
 #include "graph/core_decomposition.h"
 #include "graph/generators.h"
@@ -105,15 +104,14 @@ void BM_EnumAlmostSat(benchmark::State& state) {
   auto spec = bench::FindDataset("Writer");
   auto g = bench::MakeDataset(spec);
   // Build one realistic workload: the first solution and an outside vertex.
-  TraversalOptions opts = MakeITraversalOptions(k);
-  opts.max_results = 50;
   std::vector<Biplex> sols;
-  RunTraversal(g, opts, [&](const Biplex& b) {
+  CallbackSink sink([&](const Biplex& b) {
     // Skip the giant near-H0 solutions: with |R| in the thousands the
     // subset enumeration is O(|R|^k) and would swamp the benchmark.
     if (b.Size() <= 300) sols.push_back(b);
     return true;
   });
+  Enumerator(g).Run(bench::MakeRequest("itraversal", k, 50, 0), &sink);
   if (sols.empty()) {
     state.SkipWithError("no solutions");
     return;
@@ -152,15 +150,11 @@ BENCHMARK(BM_ExtendToMaximal);
 
 void BM_ITraversalFirst100(benchmark::State& state) {
   auto g = bench::MakeDataset(bench::FindDataset("Crime"));
+  Enumerator enumerator(g);
   for (auto _ : state) {
-    TraversalOptions opts = MakeITraversalOptions(1);
-    opts.max_results = 100;
-    uint64_t n = 0;
-    RunTraversal(g, opts, [&](const Biplex&) {
-      ++n;
-      return true;
-    });
-    benchmark::DoNotOptimize(n);
+    CountingSink sink;
+    enumerator.Run(bench::MakeRequest("itraversal", 1, 100, 0), &sink);
+    benchmark::DoNotOptimize(sink.count());
   }
 }
 BENCHMARK(BM_ITraversalFirst100);

@@ -9,7 +9,7 @@
 #include <string>
 #include <vector>
 
-#include "core/btraversal.h"
+#include "api/enumerator.h"
 #include "graph/core_decomposition.h"
 #include "graph/generators.h"
 #include "graph/graph_io.h"
@@ -60,14 +60,16 @@ int main(int argc, char** argv) {
   // they are discovered, so the polynomial-delay output scheduling is
   // turned off (it defers odd-depth solutions until their DFS subtree
   // completes).
-  TraversalOptions opts = MakeITraversalOptions(k);
-  opts.max_results = 500;
-  opts.time_budget_seconds = 5;
-  opts.polynomial_delay_output = false;
+  EnumerateRequest req;
+  req.k = KPair::Uniform(k);
+  req.max_results = 500;
+  req.time_budget_seconds = 5;
+  req.backend_options["polynomial_delay_output"] = "false";
   size_t count = 0;
   size_t best_size = 0;
   Biplex best;
-  TraversalStats stats = RunTraversal(g, opts, [&](const Biplex& b) {
+  Enumerator enumerator(g);
+  EnumerateStats stats = enumerator.Run(req, [&](const Biplex& b) {
     ++count;
     if (b.Size() > best_size) {
       best_size = b.Size();

@@ -7,7 +7,7 @@
 #include <iostream>
 #include <string>
 
-#include "core/large_mbp.h"
+#include "api/enumerator.h"
 #include "graph/generators.h"
 #include "util/random.h"
 
@@ -28,12 +28,14 @@ int main(int argc, char** argv) {
             << "Searching maximal " << k
             << "-biplexes with both sides >= " << theta << "\n\n";
 
-  LargeMbpOptions opts;
-  opts.k = KPair::Uniform(k);
-  opts.theta_left = theta;
-  opts.theta_right = theta;
+  EnumerateRequest req;
+  req.algorithm = "large-mbp";
+  req.k = KPair::Uniform(k);
+  req.theta_left = theta;
+  req.theta_right = theta;
   size_t count = 0;
-  LargeMbpStats stats = EnumerateLargeMbps(g, opts, [&](const Biplex& b) {
+  Enumerator enumerator(g);
+  EnumerateStats stats = enumerator.Run(req, [&](const Biplex& b) {
     ++count;
     if (count <= 10) {
       std::cout << "  #" << count << ": " << b.left.size() << " x "
@@ -42,11 +44,15 @@ int main(int argc, char** argv) {
     }
     return true;
   });
+  if (!stats.ok()) {
+    std::cerr << "error: " << stats.error << "\n";
+    return 1;
+  }
   if (count > 10) std::cout << "  ... and " << count - 10 << " more\n";
 
-  std::cout << "\n(θ−k)-core reduction kept " << stats.core_left << " + "
-            << stats.core_right << " of " << g.NumLeft() + g.NumRight()
-            << " vertices\n"
+  std::cout << "\n(θ−k)-core reduction kept " << stats.large_mbp->core_left
+            << " + " << stats.large_mbp->core_right << " of "
+            << g.NumLeft() + g.NumRight() << " vertices\n"
             << "Large MBPs found: " << count << " in " << stats.seconds
             << " s\n";
   return 0;

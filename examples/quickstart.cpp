@@ -1,13 +1,13 @@
 // Quickstart: build a small bipartite graph, enumerate all maximal
-// k-biplexes with iTraversal, and inspect the traversal statistics.
+// k-biplexes through the unified Enumerator facade, and inspect the
+// normalized statistics.
 //
 //   ./quickstart            (uses the built-in example graph, k = 1)
-//   ./quickstart <edge-list-file> [k]
+//   ./quickstart <edge-list-file> [k] [algorithm]
 #include <iostream>
 #include <string>
 
-#include "core/btraversal.h"
-#include "core/itraversal.h"
+#include "api/enumerator.h"
 #include "graph/generators.h"
 #include "graph/graph_io.h"
 
@@ -31,7 +31,7 @@ void PrintBiplex(const Biplex& b) {
 
 int main(int argc, char** argv) {
   BipartiteGraph g;
-  int k = 1;
+  EnumerateRequest req;  // defaults: algorithm = "itraversal", k = 1
   if (argc >= 2) {
     LoadResult r = LoadEdgeList(argv[1]);
     if (!r.ok()) {
@@ -39,36 +39,40 @@ int main(int argc, char** argv) {
       return 1;
     }
     g = std::move(*r.graph);
-    if (argc >= 3) k = std::stoi(argv[2]);
+    if (argc >= 3) req.k = KPair::Uniform(std::stoi(argv[2]));
+    if (argc >= 4) req.algorithm = argv[3];
   } else {
     g = RunningExampleGraph();  // the 5x5 running example of the docs
   }
 
   std::cout << "Graph: |L| = " << g.NumLeft() << ", |R| = " << g.NumRight()
-            << ", |E| = " << g.NumEdges() << ", k = " << k << "\n\n";
+            << ", |E| = " << g.NumEdges() << ", k = " << req.k.left
+            << ", algorithm = " << req.algorithm << "\n\n";
 
-  // iTraversal with every technique enabled; the engine guarantees
-  // polynomial delay between outputs.
-  TraversalOptions opts = MakeITraversalOptions(k);
-  TraversalEngine engine(g, opts);
-
-  std::cout << "Initial solution H0 = (L0, R):\n";
-  PrintBiplex(engine.InitialSolution());
-  std::cout << "\nMaximal " << k << "-biplexes:\n";
-
-  TraversalStats stats = engine.Run([&](const Biplex& b) {
+  std::cout << "Maximal " << req.k.left << "-biplexes:\n";
+  Enumerator enumerator(g);
+  EnumerateStats stats = enumerator.Run(req, [&](const Biplex& b) {
     PrintBiplex(b);
     return true;  // keep enumerating
   });
+  if (!stats.ok()) {
+    std::cerr << "error: " << stats.error << "\n";
+    return 1;
+  }
 
   std::cout << "\nStatistics:\n"
-            << "  solutions          : " << stats.solutions_found << "\n"
-            << "  solution-graph links: " << stats.links << "\n"
-            << "  links pruned (RS)  : "
-            << stats.links_pruned_right_shrinking << "\n"
-            << "  links pruned (ES)  : " << stats.links_pruned_exclusion
-            << "\n"
-            << "  local solutions    : " << stats.local_solutions << "\n"
+            << "  solutions          : " << stats.solutions << "\n"
+            << "  work units         : " << stats.work_units << "\n"
             << "  time               : " << stats.seconds << " s\n";
+  if (stats.traversal.has_value()) {
+    const TraversalStats& t = *stats.traversal;
+    std::cout << "  solution-graph links: " << t.links << "\n"
+              << "  links pruned (RS)  : " << t.links_pruned_right_shrinking
+              << "\n"
+              << "  links pruned (ES)  : " << t.links_pruned_exclusion
+              << "\n"
+              << "  local solutions    : " << t.local_solutions << "\n";
+  }
+  std::cout << "\nAs JSON: " << stats.ToJson() << "\n";
   return 0;
 }

@@ -1,0 +1,84 @@
+#include "api/enumerate_stats.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace kbiplex {
+namespace {
+
+void AppendEscaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+const char* Bool(bool b) { return b ? "true" : "false"; }
+
+}  // namespace
+
+std::string EnumerateStats::ToJson() const {
+  std::ostringstream os;
+  os << "{\"algorithm\":";
+  AppendEscaped(os, algorithm);
+  if (!error.empty()) {
+    os << ",\"error\":";
+    AppendEscaped(os, error);
+  }
+  os << ",\"solutions\":" << solutions << ",\"work_units\":" << work_units
+     << ",\"completed\":" << Bool(completed)
+     << ",\"cancelled\":" << Bool(cancelled)
+     << ",\"out_of_memory\":" << Bool(out_of_memory)
+     << ",\"seconds\":" << seconds;
+  if (traversal.has_value()) {
+    const TraversalStats& t = *traversal;
+    os << ",\"traversal\":{\"solutions_found\":" << t.solutions_found
+       << ",\"solutions_emitted\":" << t.solutions_emitted
+       << ",\"links\":" << t.links << ",\"links_pruned_right_shrinking\":"
+       << t.links_pruned_right_shrinking
+       << ",\"links_pruned_exclusion\":" << t.links_pruned_exclusion
+       << ",\"almost_sat_graphs\":" << t.almost_sat_graphs
+       << ",\"local_solutions\":" << t.local_solutions
+       << ",\"dedup_hits\":" << t.dedup_hits
+       << ",\"max_stack_depth\":" << t.max_stack_depth << "}";
+  }
+  if (large_mbp.has_value()) {
+    const LargeMbpStats& l = *large_mbp;
+    os << ",\"large_mbp\":{\"core_left\":" << l.core_left
+       << ",\"core_right\":" << l.core_right
+       << ",\"links\":" << l.traversal.links
+       << ",\"solutions_found\":" << l.traversal.solutions_found << "}";
+  }
+  if (imb.has_value()) {
+    os << ",\"imb\":{\"nodes\":" << imb->nodes
+       << ",\"solutions\":" << imb->solutions << "}";
+  }
+  if (inflation.has_value()) {
+    os << ",\"inflation\":{\"inflated_edges\":" << inflation->inflated_edges
+       << ",\"solutions\":" << inflation->solutions
+       << ",\"out_of_budget\":" << Bool(inflation->out_of_budget) << "}";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace kbiplex

@@ -1,0 +1,76 @@
+#include "api/registry.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace kbiplex {
+
+std::string NormalizeAlgorithmName(const std::string& name) {
+  std::string out = name;
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+AlgorithmRegistry& AlgorithmRegistry::Global() {
+  static AlgorithmRegistry* registry = [] {
+    auto* r = new AlgorithmRegistry();
+    internal::RegisterBuiltinAlgorithms(r);
+    return r;
+  }();
+  return *registry;
+}
+
+bool AlgorithmRegistry::Register(AlgorithmInfo info,
+                                 AlgorithmFactory factory) {
+  std::string key = NormalizeAlgorithmName(info.name);
+  info.name = key;
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.emplace(std::move(key), Entry{std::move(info),
+                                                std::move(factory)})
+      .second;
+}
+
+bool AlgorithmRegistry::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.count(NormalizeAlgorithmName(name)) != 0;
+}
+
+std::optional<AlgorithmInfo> AlgorithmRegistry::Find(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(NormalizeAlgorithmName(name));
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.info;
+}
+
+std::unique_ptr<AlgorithmBackend> AlgorithmRegistry::Create(
+    const std::string& name) const {
+  AlgorithmFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(NormalizeAlgorithmName(name));
+    if (it == entries_.end()) return nullptr;
+    factory = it->second.factory;
+  }
+  return factory();
+}
+
+std::vector<std::string> AlgorithmRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;
+}
+
+std::vector<AlgorithmInfo> AlgorithmRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<AlgorithmInfo> infos;
+  infos.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) infos.push_back(entry.info);
+  return infos;
+}
+
+}  // namespace kbiplex

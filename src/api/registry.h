@@ -1,0 +1,104 @@
+// String-keyed registry of enumeration backends. Every backend — the
+// traversal family, the baselines, brute force — registers a factory under
+// a stable name; the CLI, benches, examples, and tests dispatch through
+// the registry instead of hard-coding backend entry points. Adding a
+// backend is one Register() call.
+#ifndef KBIPLEX_API_REGISTRY_H_
+#define KBIPLEX_API_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/enumerate_request.h"
+#include "api/enumerate_stats.h"
+#include "api/solution_sink.h"
+#include "graph/bipartite_graph.h"
+
+namespace kbiplex {
+
+/// One enumeration backend behind the unified API. Implementations apply
+/// the request to their native options struct, run, and normalize their
+/// native counters into EnumerateStats. Instances are single-use: the
+/// registry creates a fresh backend per run.
+class AlgorithmBackend {
+ public:
+  virtual ~AlgorithmBackend() = default;
+
+  /// Runs the enumeration, delivering solutions to `sink`. Shared request
+  /// validation (asymmetric budgets, thresholds, graph size) has already
+  /// happened; implementations still reject unknown backend_options keys.
+  virtual EnumerateStats Run(const BipartiteGraph& g,
+                             const EnumerateRequest& request,
+                             SolutionSink* sink) = 0;
+};
+
+/// Capabilities and documentation of a registered backend, used by the
+/// facade for uniform request validation and by the CLI for --help output.
+struct AlgorithmInfo {
+  std::string name;     // registry key, lower case
+  std::string summary;  // one-line description
+  /// False iff the backend requires k.left == k.right (the k-biplex /
+  /// (k+1)-plex correspondence behind imb and inflation is uniform-only).
+  bool supports_asymmetric_k = true;
+  /// True iff the backend needs theta_left >= 1 and theta_right >= 1
+  /// (Section 5 large-MBP enumeration is defined only with thresholds).
+  bool requires_theta = false;
+  /// Reject graphs with a side larger than this (0 = unbounded); brute
+  /// force caps both sides at 20.
+  size_t max_side = 0;
+};
+
+using AlgorithmFactory = std::function<std::unique_ptr<AlgorithmBackend>()>;
+
+/// Thread-safe name -> backend-factory map.
+class AlgorithmRegistry {
+ public:
+  /// The process-wide registry, pre-populated with the built-in backends.
+  static AlgorithmRegistry& Global();
+
+  /// Registers a backend; returns false (and changes nothing) if the name
+  /// is already taken. Names are case-insensitive.
+  bool Register(AlgorithmInfo info, AlgorithmFactory factory);
+
+  /// True iff `name` is registered.
+  bool Contains(const std::string& name) const;
+
+  /// Capability record of `name`, or std::nullopt if unknown.
+  std::optional<AlgorithmInfo> Find(const std::string& name) const;
+
+  /// Creates a fresh backend, or null if `name` is unknown.
+  std::unique_ptr<AlgorithmBackend> Create(const std::string& name) const;
+
+  /// All registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  /// All capability records, sorted by name.
+  std::vector<AlgorithmInfo> List() const;
+
+ private:
+  struct Entry {
+    AlgorithmInfo info;
+    AlgorithmFactory factory;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// Lower-cases an algorithm name; registry lookups apply this themselves,
+/// exposed for callers that render names.
+std::string NormalizeAlgorithmName(const std::string& name);
+
+namespace internal {
+/// Registers the eight built-in backends; called once by Global().
+void RegisterBuiltinAlgorithms(AlgorithmRegistry* registry);
+}  // namespace internal
+
+}  // namespace kbiplex
+
+#endif  // KBIPLEX_API_REGISTRY_H_

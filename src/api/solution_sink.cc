@@ -1,0 +1,39 @@
+#include "api/solution_sink.h"
+
+#include <algorithm>
+
+namespace kbiplex {
+
+std::vector<Biplex> CollectingSink::Take() {
+  if (sorted_) std::sort(solutions_.begin(), solutions_.end());
+  return std::move(solutions_);
+}
+
+bool StreamWriterSink::Accept(const Biplex& solution) {
+  std::ostream& os = *out_;
+  if (format_ == Format::kText) {
+    for (size_t i = 0; i < solution.left.size(); ++i) {
+      if (i != 0) os << ' ';
+      os << solution.left[i];
+    }
+    os << " |";
+    for (VertexId u : solution.right) os << ' ' << u;
+    os << '\n';
+  } else {
+    os << "{\"left\":[";
+    for (size_t i = 0; i < solution.left.size(); ++i) {
+      if (i != 0) os << ',';
+      os << solution.left[i];
+    }
+    os << "],\"right\":[";
+    for (size_t i = 0; i < solution.right.size(); ++i) {
+      if (i != 0) os << ',';
+      os << solution.right[i];
+    }
+    os << "]}\n";
+  }
+  ++written_;
+  return os.good();
+}
+
+}  // namespace kbiplex

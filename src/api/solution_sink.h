@@ -1,0 +1,97 @@
+// Where enumerated solutions go. Every backend used to define its own
+// std::function callback alias (SolutionCallback, ImbCallback, plain
+// std::function in the inflation baseline); the unified API replaces them
+// with one polymorphic sink so delivery policies — collect, count, stream,
+// forward — compose with any backend.
+#ifndef KBIPLEX_API_SOLUTION_SINK_H_
+#define KBIPLEX_API_SOLUTION_SINK_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <vector>
+
+#include "core/biplex.h"
+
+namespace kbiplex {
+
+/// Receives each delivered solution; Accept returning false stops the
+/// enumeration (the run then reports completed = false).
+class SolutionSink {
+ public:
+  virtual ~SolutionSink() = default;
+  virtual bool Accept(const Biplex& solution) = 0;
+};
+
+/// Adapts a plain callback to the sink interface.
+class CallbackSink final : public SolutionSink {
+ public:
+  explicit CallbackSink(std::function<bool(const Biplex&)> fn)
+      : fn_(std::move(fn)) {}
+
+  bool Accept(const Biplex& solution) override { return fn_(solution); }
+
+ private:
+  std::function<bool(const Biplex&)> fn_;
+};
+
+/// Counts solutions without materializing them.
+class CountingSink final : public SolutionSink {
+ public:
+  bool Accept(const Biplex&) override {
+    ++count_;
+    return true;
+  }
+
+  uint64_t count() const { return count_; }
+
+ private:
+  uint64_t count_ = 0;
+};
+
+/// Materializes every solution; Take() hands the batch out, sorted in the
+/// canonical biplex order unless constructed with sorted = false.
+class CollectingSink final : public SolutionSink {
+ public:
+  explicit CollectingSink(bool sorted = true) : sorted_(sorted) {}
+
+  bool Accept(const Biplex& solution) override {
+    solutions_.push_back(solution);
+    return true;
+  }
+
+  size_t size() const { return solutions_.size(); }
+
+  /// Moves the collected solutions out, sorting first when requested.
+  std::vector<Biplex> Take();
+
+ private:
+  bool sorted_;
+  std::vector<Biplex> solutions_;
+};
+
+/// Streams solutions to an output stream as they arrive.
+class StreamWriterSink final : public SolutionSink {
+ public:
+  enum class Format {
+    kText,       // "l1 l2 | r1 r2", one solution per line
+    kJsonLines,  // {"left":[..],"right":[..]}, one object per line
+  };
+
+  /// `out` must outlive the sink.
+  explicit StreamWriterSink(std::ostream* out, Format format = Format::kText)
+      : out_(out), format_(format) {}
+
+  bool Accept(const Biplex& solution) override;
+
+  uint64_t written() const { return written_; }
+
+ private:
+  std::ostream* out_;
+  Format format_;
+  uint64_t written_ = 0;
+};
+
+}  // namespace kbiplex
+
+#endif  // KBIPLEX_API_SOLUTION_SINK_H_

@@ -65,7 +65,8 @@ class ImbEnumerator {
   void Recurse(const std::vector<VertexId>& p_set,
                const std::vector<VertexId>& x_set) {
     if (stop_) return;
-    if ((++stats_.nodes & 0x3ffu) == 0 && deadline_.Expired()) {
+    if ((++stats_.nodes & 0x3ffu) == 0 &&
+        (deadline_.Expired() || Cancelled(opts_.cancel))) {
       stop_ = true;
       return;
     }

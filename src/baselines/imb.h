@@ -15,6 +15,7 @@
 
 #include "core/biplex.h"
 #include "graph/bipartite_graph.h"
+#include "util/cancellation.h"
 
 namespace kbiplex {
 
@@ -27,6 +28,9 @@ struct ImbOptions {
   size_t theta_right = 0;
   uint64_t max_results = 0;
   double time_budget_seconds = 0;
+  /// Optional cooperative cancellation (polled with the deadline); not
+  /// owned, may be null.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// Work counters.
@@ -40,7 +44,11 @@ struct ImbStats {
 /// Receives each maximal k-biplex; return false to stop.
 using ImbCallback = std::function<bool(const Biplex&)>;
 
-/// Runs the iMB-style enumeration.
+/// Runs the iMB-style enumeration. Deprecated backend entry point for
+/// k >= 1: new callers should go through the Enumerator facade
+/// (api/enumerator.h) with algorithm "imb". (The k = 0 biclique reuse in
+/// analysis/biclique.cc stays on this function: the public biplex API
+/// requires budgets >= 1.)
 ImbStats RunImb(const BipartiteGraph& g, const ImbOptions& opts,
                 const ImbCallback& cb);
 

@@ -83,6 +83,7 @@ InflationBaselineStats RunInflationBaseline(
   kopts.p = opts.k + 1;
   kopts.max_results = opts.max_results;
   kopts.time_budget_seconds = opts.time_budget_seconds;
+  kopts.cancel = opts.cancel;
   KPlexEnumStats ks = EnumerateMaximalKPlexes(
       inflated.graph, kopts, [&](const std::vector<VertexId>& set) {
         Biplex b = SplitInflatedSet(inflated, set, nullptr, nullptr);

@@ -15,6 +15,7 @@
 #include "core/biplex.h"
 #include "core/enum_almost_sat.h"
 #include "graph/bipartite_graph.h"
+#include "util/cancellation.h"
 
 namespace kbiplex {
 
@@ -40,6 +41,9 @@ struct InflationBaselineOptions {
   /// Refuse to inflate beyond this many edges, mimicking the paper's OUT
   /// (out-of-memory) outcome for FaPlexen on large graphs. 0 = no guard.
   size_t max_inflated_edges = 0;
+  /// Optional cooperative cancellation (polled with the deadline); not
+  /// owned, may be null.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// Outcome of the global inflation baseline.
@@ -55,6 +59,8 @@ struct InflationBaselineStats {
 
 /// Enumerates maximal k-biplexes of `g` by inflating it and enumerating
 /// maximal (k+1)-plexes. Solutions are delivered as Biplex values.
+/// Deprecated backend entry point: new callers should go through the
+/// Enumerator facade (api/enumerator.h) with algorithm "inflation".
 InflationBaselineStats RunInflationBaseline(
     const BipartiteGraph& g, const InflationBaselineOptions& opts,
     const std::function<bool(const Biplex&)>& cb);

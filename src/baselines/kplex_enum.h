@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "graph/general_graph.h"
+#include "util/cancellation.h"
 #include "util/common.h"
 
 namespace kbiplex {
@@ -35,6 +36,9 @@ struct KPlexEnumOptions {
   uint64_t max_results = 0;
   /// Wall-clock budget in seconds (0 = unlimited).
   double time_budget_seconds = 0;
+  /// Optional cooperative cancellation (polled with the deadline); not
+  /// owned, may be null.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// Work counters.

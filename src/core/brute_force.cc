@@ -49,14 +49,31 @@ bool MaskIsKBiplex(const MaskGraph& m, uint32_t lmask, uint32_t rmask,
 
 std::vector<Biplex> BruteForceMaximalBiplexes(const BipartiteGraph& g,
                                               KPair k) {
+  return BruteForceMaximalBiplexes(g, k, nullptr, nullptr, nullptr);
+}
+
+std::vector<Biplex> BruteForceMaximalBiplexes(const BipartiteGraph& g,
+                                              KPair k,
+                                              const Deadline* deadline,
+                                              const CancellationToken* cancel,
+                                              bool* completed) {
   const size_t nl = g.NumLeft();
   const size_t nr = g.NumRight();
   assert(nl <= 20 && nr <= 20);
   const MaskGraph m = BuildMasks(g);
+  if (completed != nullptr) *completed = true;
 
   std::vector<Biplex> out;
+  uint64_t visited = 0;
   for (uint32_t lmask = 0; lmask < (1u << nl); ++lmask) {
     for (uint32_t rmask = 0; rmask < (1u << nr); ++rmask) {
+      if ((++visited & 0xffffu) == 0 &&
+          ((deadline != nullptr && deadline->Expired()) ||
+           Cancelled(cancel))) {
+        if (completed != nullptr) *completed = false;
+        std::sort(out.begin(), out.end());
+        return out;
+      }
       if (!MaskIsKBiplex(m, lmask, rmask, k)) continue;
       // Maximality: by the hereditary property it suffices that no single
       // vertex can be added.

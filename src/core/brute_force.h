@@ -6,18 +6,34 @@
 
 #include "core/biplex.h"
 #include "graph/bipartite_graph.h"
+#include "util/cancellation.h"
+#include "util/timer.h"
 
 namespace kbiplex {
 
 /// Enumerates every maximal k-biplex of `g` by checking all 2^(|L|+|R|)
 /// vertex-set pairs. Requires |L| <= 20 and |R| <= 20 and is intended for
-/// graphs with at most ~16 vertices total. Results are sorted.
+/// graphs with at most ~16 vertices total. Results are sorted. Also
+/// reachable through the Enumerator facade (api/enumerator.h) as
+/// algorithm "brute-force"; tests that need the ground truth directly may
+/// keep calling this.
 std::vector<Biplex> BruteForceMaximalBiplexes(const BipartiteGraph& g,
                                               KPair k);
 inline std::vector<Biplex> BruteForceMaximalBiplexes(const BipartiteGraph& g,
                                                      int k) {
   return BruteForceMaximalBiplexes(g, KPair::Uniform(k));
 }
+
+/// Interruptible variant: polls `deadline` and `cancel` (either may be
+/// null) every 2^16 candidate masks. When one fires the scan stops,
+/// `*completed` (if non-null) is set to false, and the solutions found so
+/// far are returned — a partial set, since candidates are visited in mask
+/// order, not canonical order.
+std::vector<Biplex> BruteForceMaximalBiplexes(const BipartiteGraph& g,
+                                              KPair k,
+                                              const Deadline* deadline,
+                                              const CancellationToken* cancel,
+                                              bool* completed);
 
 /// Filters `solutions` to those with |L| >= theta_left and
 /// |R| >= theta_right (the "large MBPs" of Section 5).

@@ -61,7 +61,8 @@ class TraversalEngine::Impl {
 
     size_t iter = 0;
     while (!stack.empty() && !stop_) {
-      if ((++iter & 0xfu) == 0 && deadline.Expired()) {
+      if ((++iter & 0xfu) == 0 &&
+          (deadline.Expired() || Cancelled(opts_.cancel))) {
         stats_.completed = false;
         break;
       }
@@ -267,8 +268,9 @@ class TraversalEngine::Impl {
     }
     auto handle_local = [&](const Biplex& loc) -> bool {
       ++stats_.local_solutions;
-      if (deadline_ != nullptr && (stats_.local_solutions & 0xfu) == 0 &&
-          deadline_->Expired()) {
+      if ((stats_.local_solutions & 0xfu) == 0 &&
+          ((deadline_ != nullptr && deadline_->Expired()) ||
+           Cancelled(opts_.cancel))) {
         stop_ = true;
         stats_.completed = false;
         return false;

@@ -49,7 +49,9 @@ class TraversalEngine {
 };
 
 /// Convenience: enumerate all maximal k-biplexes of `g` with iTraversal
-/// (all techniques on) and return them sorted.
+/// (all techniques on) and return them sorted. Deprecated backend entry
+/// point: prefer Enumerator::Collect (api/enumerator.h) with algorithm
+/// "itraversal".
 std::vector<Biplex> EnumerateMaximalBiplexes(const BipartiteGraph& g, int k);
 
 }  // namespace kbiplex

@@ -21,6 +21,7 @@ LargeMbpStats EnumerateLargeMbps(const BipartiteGraph& g,
   topts.prune_small = true;
   topts.max_results = opts.max_results;
   topts.time_budget_seconds = opts.time_budget_seconds;
+  topts.cancel = opts.cancel;
 
   if (!opts.core_reduction) {
     stats.core_left = g.NumLeft();

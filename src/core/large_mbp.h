@@ -24,6 +24,9 @@ struct LargeMbpOptions {
   bool core_reduction = true;
   uint64_t max_results = 0;
   double time_budget_seconds = 0;
+  /// Optional cooperative cancellation, forwarded to the traversal engine;
+  /// not owned, may be null.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// Result counters of a large-MBP run.
@@ -37,11 +40,14 @@ struct LargeMbpStats {
 
 /// Enumerates every maximal k-biplex of `g` with |L'| >= theta_left and
 /// |R'| >= theta_right, delivering them to `cb` with ids of `g`.
+/// Deprecated backend entry point: new callers should go through the
+/// Enumerator facade (api/enumerator.h) with algorithm "large-mbp".
 LargeMbpStats EnumerateLargeMbps(const BipartiteGraph& g,
                                  const LargeMbpOptions& opts,
                                  const SolutionCallback& cb);
 
-/// Convenience wrapper returning the sorted solutions.
+/// Convenience wrapper returning the sorted solutions. Deprecated:
+/// prefer Enumerator::Collect (api/enumerator.h).
 std::vector<Biplex> CollectLargeMbps(const BipartiteGraph& g,
                                      const LargeMbpOptions& opts,
                                      LargeMbpStats* stats = nullptr);

@@ -11,6 +11,7 @@
 
 #include "core/enum_almost_sat.h"
 #include "core/solution_store.h"
+#include "util/cancellation.h"
 #include "util/common.h"
 
 namespace kbiplex {
@@ -76,6 +77,11 @@ struct TraversalOptions {
   /// local-solution pruning, solution pruning, left-side pruning). Only
   /// sound when the theta constraints are set and right_shrinking is on.
   bool prune_small = false;
+
+  /// Optional cooperative cancellation, polled at the same cadence as the
+  /// wall-clock deadline; a cancelled run stops with completed = false.
+  /// Not owned; may be null.
+  const CancellationToken* cancel = nullptr;
 
   /// Backend of the solution store.
   StoreBackend store_backend = StoreBackend::kBTree;

@@ -1,0 +1,46 @@
+// Cooperative cancellation for long-running enumerations. The token lives
+// low in the dependency graph (util/) so every backend options struct can
+// carry a pointer to one without depending on the api/ layer that usually
+// hands it out.
+#ifndef KBIPLEX_UTIL_CANCELLATION_H_
+#define KBIPLEX_UTIL_CANCELLATION_H_
+
+#include <atomic>
+
+namespace kbiplex {
+
+/// A cancellation flag shared between a controller (any thread) and a
+/// running enumeration. Backends poll IsCancelled() at the same cadence as
+/// their wall-clock deadline and stop with `completed = false` once it is
+/// set. Cancel() may be called from a signal handler or another thread;
+/// Reset() must not race with a running enumeration.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Requests the enumeration to stop at its next poll point.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// True once Cancel() was called.
+  bool IsCancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Re-arms the token for a new run.
+  void Reset() { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// True iff `token` is non-null and cancelled; the form every backend's
+/// poll site uses so a null token costs one branch.
+inline bool Cancelled(const CancellationToken* token) {
+  return token != nullptr && token->IsCancelled();
+}
+
+}  // namespace kbiplex
+
+#endif  // KBIPLEX_UTIL_CANCELLATION_H_

@@ -1,20 +1,25 @@
 // kbiplex command-line tool: enumerate maximal k-biplexes of an edge-list
-// graph from the shell.
+// graph from the shell, through the unified Enumerator facade.
 //
-//   kbiplex enumerate <edge-list> [--k N] [--kl N --kr N] [--max N]
-//                     [--budget SECONDS] [--algo itraversal|btraversal]
+//   kbiplex enumerate <edge-list> [--k N | --kl N --kr N] [--max N]
+//                     [--budget SECONDS] [--algo NAME] [--theta-l N]
+//                     [--theta-r N] [--opt KEY=VALUE]... [--format text|json]
+//                     [--quiet]
 //   kbiplex large     <edge-list> --theta-l N --theta-r N [--k N] [...]
 //   kbiplex stats     <edge-list>
+//   kbiplex algos
 //
-// Solutions print one per line as "l1 l2 .. | r1 r2 ..".
+// --algo accepts every name in the algorithm registry (see `kbiplex
+// algos`); --opt passes backend-specific options through. With --format
+// json, solutions print as JSON lines and the unified run statistics
+// follow as a final JSON object on stdout, ready for scripting.
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <optional>
 #include <string>
 
-#include "core/btraversal.h"
-#include "core/large_mbp.h"
+#include "api/enumerator.h"
 #include "graph/core_decomposition.h"
 #include "graph/graph_io.h"
 
@@ -25,29 +30,37 @@ namespace {
 struct CliArgs {
   std::string command;
   std::string path;
-  KPair k = KPair::Uniform(1);
-  uint64_t max_results = 0;
-  double budget = 0;
-  size_t theta_l = 0;
-  size_t theta_r = 0;
-  bool btraversal = false;
+  EnumerateRequest request;
+  bool json = false;
   bool quiet = false;  // suppress solution lines, print counts only
 };
 
 void PrintUsage() {
-  std::cerr
-      << "usage:\n"
-         "  kbiplex enumerate <edge-list> [--k N | --kl N --kr N] "
-         "[--max N] [--budget S] [--algo itraversal|btraversal] [--quiet]\n"
-         "  kbiplex large <edge-list> --theta-l N --theta-r N [--k N] "
-         "[--max N] [--budget S] [--quiet]\n"
-         "  kbiplex stats <edge-list>\n";
+  std::string names;
+  for (const std::string& n : AlgorithmRegistry::Global().Names()) {
+    if (!names.empty()) names += "|";
+    names += n;
+  }
+  std::cerr << "usage:\n"
+               "  kbiplex enumerate <edge-list> [--k N | --kl N --kr N] "
+               "[--max N] [--budget S]\n"
+               "                    [--algo NAME] [--theta-l N] [--theta-r N] "
+               "[--opt KEY=VALUE]...\n"
+               "                    [--format text|json] [--quiet]\n"
+               "  kbiplex large <edge-list> --theta-l N --theta-r N [--k N] "
+               "[--max N] [--budget S] [--quiet]\n"
+               "  kbiplex stats <edge-list>\n"
+               "  kbiplex algos\n"
+               "algorithms: "
+            << names << "\n";
 }
 
 std::optional<CliArgs> Parse(int argc, char** argv) {
-  if (argc < 3) return std::nullopt;
+  if (argc < 2) return std::nullopt;
   CliArgs args;
   args.command = argv[1];
+  if (args.command == "algos") return args;
+  if (argc < 3) return std::nullopt;
   args.path = argv[2];
   for (int i = 3; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -55,103 +68,118 @@ std::optional<CliArgs> Parse(int argc, char** argv) {
       if (i + 1 >= argc) return std::nullopt;
       return std::string(argv[++i]);
     };
+    // Parses the next argument into *out; a malformed number prints a
+    // message instead of throwing out of main.
+    auto next_parsed = [&](auto parse, auto* out) -> bool {
+      auto v = next();
+      if (!v) return false;
+      try {
+        *out = parse(*v);
+        return true;
+      } catch (const std::exception&) {
+        std::cerr << "invalid value for " << flag << ": " << *v << "\n";
+        return false;
+      }
+    };
+    auto to_int = [](const std::string& s) { return std::stoi(s); };
+    auto to_uint64 = [](const std::string& s) { return std::stoull(s); };
+    auto to_size = [](const std::string& s) {
+      return static_cast<size_t>(std::stoull(s));
+    };
+    auto to_double = [](const std::string& s) { return std::stod(s); };
     if (flag == "--quiet") {
       args.quiet = true;
     } else if (flag == "--k") {
-      auto v = next();
-      if (!v) return std::nullopt;
-      args.k = KPair::Uniform(std::stoi(*v));
+      int k = 0;
+      if (!next_parsed(to_int, &k)) return std::nullopt;
+      args.request.k = KPair::Uniform(k);
     } else if (flag == "--kl") {
-      auto v = next();
-      if (!v) return std::nullopt;
-      args.k.left = std::stoi(*v);
+      if (!next_parsed(to_int, &args.request.k.left)) return std::nullopt;
     } else if (flag == "--kr") {
-      auto v = next();
-      if (!v) return std::nullopt;
-      args.k.right = std::stoi(*v);
+      if (!next_parsed(to_int, &args.request.k.right)) return std::nullopt;
     } else if (flag == "--max") {
-      auto v = next();
-      if (!v) return std::nullopt;
-      args.max_results = std::stoull(*v);
+      if (!next_parsed(to_uint64, &args.request.max_results)) {
+        return std::nullopt;
+      }
     } else if (flag == "--budget") {
-      auto v = next();
-      if (!v) return std::nullopt;
-      args.budget = std::stod(*v);
+      if (!next_parsed(to_double, &args.request.time_budget_seconds)) {
+        return std::nullopt;
+      }
     } else if (flag == "--theta-l") {
-      auto v = next();
-      if (!v) return std::nullopt;
-      args.theta_l = std::stoul(*v);
+      if (!next_parsed(to_size, &args.request.theta_left)) {
+        return std::nullopt;
+      }
     } else if (flag == "--theta-r") {
-      auto v = next();
-      if (!v) return std::nullopt;
-      args.theta_r = std::stoul(*v);
+      if (!next_parsed(to_size, &args.request.theta_right)) {
+        return std::nullopt;
+      }
     } else if (flag == "--algo") {
       auto v = next();
       if (!v) return std::nullopt;
-      args.btraversal = (*v == "btraversal");
+      args.request.algorithm = *v;
+    } else if (flag == "--opt") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      const size_t eq = v->find('=');
+      if (eq == std::string::npos) {
+        std::cerr << "--opt expects KEY=VALUE, got: " << *v << "\n";
+        return std::nullopt;
+      }
+      args.request.backend_options[v->substr(0, eq)] = v->substr(eq + 1);
+    } else if (flag == "--format") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      if (*v == "json") {
+        args.json = true;
+      } else if (*v != "text") {
+        std::cerr << "unknown format: " << *v << "\n";
+        return std::nullopt;
+      }
     } else {
       std::cerr << "unknown flag: " << flag << "\n";
       return std::nullopt;
     }
   }
-  if (args.k.left < 1 || args.k.right < 1) {
-    std::cerr << "budgets must be >= 1\n";
-    return std::nullopt;
-  }
   return args;
 }
 
-void PrintSolution(const Biplex& b) {
-  for (size_t i = 0; i < b.left.size(); ++i) {
-    std::printf(i ? " %u" : "%u", b.left[i]);
+int RunRequest(const CliArgs& args, const BipartiteGraph& g) {
+  Enumerator enumerator(g);
+  StreamWriterSink writer(&std::cout,
+                          args.json ? StreamWriterSink::Format::kJsonLines
+                                    : StreamWriterSink::Format::kText);
+  CountingSink counter;
+  SolutionSink* sink =
+      args.quiet ? static_cast<SolutionSink*>(&counter) : &writer;
+  EnumerateStats stats = enumerator.Run(args.request, sink);
+  if (!stats.ok()) {
+    std::cerr << "error: " << stats.error << "\n";
+    if (args.json) std::cout << stats.ToJson() << "\n";
+    return 2;
   }
-  std::printf(" |");
-  for (VertexId u : b.right) std::printf(" %u", u);
-  std::printf("\n");
-}
-
-int CmdEnumerate(const CliArgs& args, const BipartiteGraph& g) {
-  TraversalOptions opts =
-      args.btraversal ? MakeBTraversalOptions(1) : MakeITraversalOptions(1);
-  opts.k = args.k;
-  opts.max_results = args.max_results;
-  opts.time_budget_seconds = args.budget;
-  uint64_t n = 0;
-  TraversalStats stats = RunTraversal(g, opts, [&](const Biplex& b) {
-    ++n;
-    if (!args.quiet) PrintSolution(b);
-    return true;
-  });
-  std::fprintf(stderr, "# %llu maximal biplexes, %.3fs%s\n",
-               static_cast<unsigned long long>(n), stats.seconds,
-               stats.completed ? "" : " (stopped early)");
+  if (args.json) {
+    std::cout << stats.ToJson() << "\n";
+  } else {
+    std::fprintf(stderr, "# %s: %llu maximal biplexes, %.3fs%s\n",
+                 stats.algorithm.c_str(),
+                 static_cast<unsigned long long>(stats.solutions),
+                 stats.seconds, stats.completed ? "" : " (stopped early)");
+    if (stats.large_mbp.has_value()) {
+      std::fprintf(stderr, "# core %zu+%zu of %zu vertices\n",
+                   stats.large_mbp->core_left, stats.large_mbp->core_right,
+                   g.NumVertices());
+    }
+  }
   return 0;
 }
 
-int CmdLarge(const CliArgs& args, const BipartiteGraph& g) {
-  if (args.theta_l == 0 || args.theta_r == 0) {
+int CmdLarge(CliArgs args, const BipartiteGraph& g) {
+  if (args.request.theta_left == 0 || args.request.theta_right == 0) {
     std::cerr << "large requires --theta-l and --theta-r\n";
     return 2;
   }
-  LargeMbpOptions opts;
-  opts.k = args.k;
-  opts.theta_left = args.theta_l;
-  opts.theta_right = args.theta_r;
-  opts.max_results = args.max_results;
-  opts.time_budget_seconds = args.budget;
-  uint64_t n = 0;
-  LargeMbpStats stats = EnumerateLargeMbps(g, opts, [&](const Biplex& b) {
-    ++n;
-    if (!args.quiet) PrintSolution(b);
-    return true;
-  });
-  std::fprintf(stderr,
-               "# %llu large maximal biplexes, core %zu+%zu of %zu "
-               "vertices, %.3fs%s\n",
-               static_cast<unsigned long long>(n), stats.core_left,
-               stats.core_right, g.NumVertices(), stats.seconds,
-               stats.completed ? "" : " (stopped early)");
-  return 0;
+  args.request.algorithm = "large-mbp";
+  return RunRequest(args, g);
 }
 
 int CmdStats(const BipartiteGraph& g) {
@@ -166,6 +194,19 @@ int CmdStats(const BipartiteGraph& g) {
   return 0;
 }
 
+int CmdAlgos() {
+  for (const AlgorithmInfo& info : AlgorithmRegistry::Global().List()) {
+    std::printf("%-18s %s", info.name.c_str(), info.summary.c_str());
+    if (!info.supports_asymmetric_k) std::printf(" [uniform k]");
+    if (info.requires_theta) std::printf(" [requires theta]");
+    if (info.max_side != 0) {
+      std::printf(" [sides <= %zu]", info.max_side);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -174,13 +215,14 @@ int main(int argc, char** argv) {
     PrintUsage();
     return 2;
   }
+  if (args->command == "algos") return CmdAlgos();
   LoadResult r = LoadEdgeList(args->path);
   if (!r.ok()) {
     std::cerr << "error: " << r.error << "\n";
     return 1;
   }
   const BipartiteGraph& g = *r.graph;
-  if (args->command == "enumerate") return CmdEnumerate(*args, g);
+  if (args->command == "enumerate") return RunRequest(*args, g);
   if (args->command == "large") return CmdLarge(*args, g);
   if (args->command == "stats") return CmdStats(g);
   PrintUsage();
