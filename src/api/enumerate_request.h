@@ -44,6 +44,19 @@ struct EnumerateRequest {
   /// backends without a comparable counter. 0 = unlimited.
   uint64_t max_links = 0;
 
+  /// Worker threads of the run: 1 = sequential (the default), 0 = one per
+  /// hardware thread, N = at most N workers (clamped to 256). With more than one thread the
+  /// facade shards the enumeration across workers when a sharding plan is
+  /// both available for the backend and provably equivalent to the
+  /// sequential run (see api/parallel_driver.h); otherwise it falls back
+  /// to the sequential path. A completed parallel run delivers exactly
+  /// the 1-thread run's solution *set*, but the delivery *order* is
+  /// unspecified and sinks are invoked from worker threads (serialized,
+  /// one at a time). When a run stops early — max_results, time budget,
+  /// sink stop — the cap is still enforced exactly, but *which* solutions
+  /// arrive depends on worker interleaving.
+  int threads = 1;
+
   /// Optional cooperative cancellation, polled by every backend at the
   /// same cadence as the wall-clock deadline. Not owned; may be null.
   const CancellationToken* cancellation = nullptr;

@@ -1,5 +1,6 @@
 #include "api/enumerate_stats.h"
 
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -34,6 +35,19 @@ void AppendEscaped(std::ostream& os, const std::string& s) {
 
 const char* Bool(bool b) { return b ? "true" : "false"; }
 
+/// JSON has no inf/nan literals; default ostream formatting would emit
+/// them bare and corrupt the document (time-budget edge cases can yield a
+/// non-finite seconds value). Non-finite doubles render as null.
+void AppendDouble(std::ostream& os, double value) {
+  if (!std::isfinite(value)) {
+    os << "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  os << buf;
+}
+
 }  // namespace
 
 std::string EnumerateStats::ToJson() const {
@@ -47,8 +61,8 @@ std::string EnumerateStats::ToJson() const {
   os << ",\"solutions\":" << solutions << ",\"work_units\":" << work_units
      << ",\"completed\":" << Bool(completed)
      << ",\"cancelled\":" << Bool(cancelled)
-     << ",\"out_of_memory\":" << Bool(out_of_memory)
-     << ",\"seconds\":" << seconds;
+     << ",\"out_of_memory\":" << Bool(out_of_memory) << ",\"seconds\":";
+  AppendDouble(os, seconds);
   if (traversal.has_value()) {
     const TraversalStats& t = *traversal;
     os << ",\"traversal\":{\"solutions_found\":" << t.solutions_found

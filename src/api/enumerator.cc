@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "api/parallel_driver.h"
 #include "baselines/imb.h"
 #include "baselines/inflation_enum.h"
 #include "core/brute_force.h"
@@ -104,7 +105,10 @@ EnumerateStats Rejected(std::string message) {
 
 /// The facade-side delivery wrapper every backend routes solutions
 /// through: enforces the size thresholds and max_results uniformly, even
-/// for backends whose native options lack one of the knobs.
+/// for backends whose native options lack one of the knobs. A solution
+/// counts as delivered only once the sink accepted it, so a sink-initiated
+/// stop leaves `delivered` (and therefore stats.solutions) at the number
+/// of solutions the sink actually took.
 struct Delivery {
   const EnumerateRequest& request;
   SolutionSink* sink;
@@ -115,8 +119,8 @@ struct Delivery {
         b.right.size() < request.theta_right) {
       return true;
     }
-    ++delivered;
     if (!sink->Accept(b)) return false;
+    ++delivered;
     if (request.max_results != 0 && delivered >= request.max_results) {
       return false;
     }
@@ -353,6 +357,8 @@ EnumerateStats Enumerator::Run(const EnumerateRequest& request,
   EnumerateStats out;
   if (request.k.left < 1 || request.k.right < 1) {
     out = Rejected("disconnection budgets must be >= 1");
+  } else if (request.threads < 0) {
+    out = Rejected("threads must be >= 0 (0 = one per hardware thread)");
   } else if (!info->supports_asymmetric_k && !request.k.IsUniform()) {
     out = Rejected("algorithm '" + name +
                    "' requires uniform budgets (k.left == k.right)");
@@ -368,7 +374,14 @@ EnumerateStats Enumerator::Run(const EnumerateRequest& request,
     out.completed = false;
     out.cancelled = true;
   } else {
-    out = registry_->Create(name)->Run(*g_, request, sink);
+    std::optional<EnumerateStats> parallel;
+    if (request.threads != 1) {
+      parallel = internal::TryRunParallel(*g_, request, *registry_, *info,
+                                          sink);
+    }
+    out = parallel.has_value()
+              ? std::move(*parallel)
+              : registry_->Create(name)->Run(*g_, request, sink);
     if (!out.ok()) out.completed = false;
     if (!out.completed && Cancelled(request.cancellation)) {
       out.cancelled = true;

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <ostream>
 #include <vector>
 
@@ -68,6 +69,34 @@ class CollectingSink final : public SolutionSink {
  private:
   bool sorted_;
   std::vector<Biplex> solutions_;
+};
+
+/// Serializes concurrent Accept calls onto a single-threaded inner sink
+/// with a mutex. Wrap any of the sinks above (collecting, counting,
+/// stream, callback) to share one sink between concurrently running
+/// enumerations. Note a single parallel run does NOT need this: the
+/// driver already serializes sink access internally (with result-cap
+/// accounting this wrapper has no view of); the wrapper is for embedders
+/// pointing several independent Run() calls at one sink. The inner sink
+/// is not owned and must outlive the wrapper.
+/// A stop request (inner Accept returning false) is sticky: once refused,
+/// every later Accept returns false without reaching the inner sink, so
+/// racing workers cannot deliver past a sink-initiated stop.
+class SynchronizedSink final : public SolutionSink {
+ public:
+  explicit SynchronizedSink(SolutionSink* inner) : inner_(inner) {}
+
+  bool Accept(const Biplex& solution) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return false;
+    if (!inner_->Accept(solution)) stopped_ = true;
+    return !stopped_;
+  }
+
+ private:
+  std::mutex mu_;
+  SolutionSink* inner_;
+  bool stopped_ = false;
 };
 
 /// Streams solutions to an output stream as they arrive.

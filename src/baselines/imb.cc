@@ -25,7 +25,10 @@ class ImbEnumerator {
     for (size_t i = 0; i < p_set.size(); ++i) {
       p_set[i] = static_cast<VertexId>(i);
     }
-    Recurse(p_set, {});
+    root_begin_ = std::min(opts_.root_begin, p_set.size());
+    root_end_ = opts_.root_end == 0 ? p_set.size()
+                                    : std::min(opts_.root_end, p_set.size());
+    Recurse(p_set, {}, /*root=*/true);
     if (stop_) stats_.completed = false;
     stats_.seconds = timer.ElapsedSeconds();
     return stats_;
@@ -63,7 +66,7 @@ class ImbEnumerator {
   }
 
   void Recurse(const std::vector<VertexId>& p_set,
-               const std::vector<VertexId>& x_set) {
+               const std::vector<VertexId>& x_set, bool root = false) {
     if (stop_) return;
     if ((++stats_.nodes & 0x3ffu) == 0 &&
         (deadline_.Expired() || Cancelled(opts_.cancel))) {
@@ -71,7 +74,9 @@ class ImbEnumerator {
       return;
     }
     if (p_set.empty()) {
-      if (x_set.empty()) Report();
+      // Root-sharded runs over an empty graph report the empty solution
+      // only from the shard that owns branch 0.
+      if (x_set.empty() && (!root || root_begin_ == 0)) Report();
       return;
     }
     // iMB size pruning: the current branch can never reach the thresholds.
@@ -86,7 +91,9 @@ class ImbEnumerator {
         return;
       }
     }
-    for (size_t i = 0; i < p_set.size() && !stop_; ++i) {
+    const size_t begin = root ? root_begin_ : 0;
+    const size_t end = root ? root_end_ : p_set.size();
+    for (size_t i = begin; i < end && !stop_; ++i) {
       const VertexId v = p_set[i];
       Add(v);
       std::vector<VertexId> p_next;
@@ -112,6 +119,8 @@ class ImbEnumerator {
   const VertexId num_left_;
   ImbStats stats_;
   bool stop_ = false;
+  size_t root_begin_ = 0;
+  size_t root_end_ = 0;
   Biplex cur_;
 };
 

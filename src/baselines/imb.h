@@ -31,6 +31,15 @@ struct ImbOptions {
   /// Optional cooperative cancellation (polled with the deadline); not
   /// owned, may be null.
   const CancellationToken* cancel = nullptr;
+  /// Root-branch shard [root_begin, root_end) of the set-enumeration tree:
+  /// the run explores only the top-level branches whose first included
+  /// vertex has that rank in the root candidate order (left ids, then
+  /// right ids shifted by |L|). Root branches are independent, so a
+  /// partition of [0, |L|+|R|) across runs yields exactly the full
+  /// solution set with no duplicates. root_end = 0 means "all branches".
+  /// This is the sharding hook of the parallel enumeration driver (api/).
+  size_t root_begin = 0;
+  size_t root_end = 0;
 };
 
 /// Work counters.

@@ -57,15 +57,26 @@ std::vector<Biplex> BruteForceMaximalBiplexes(const BipartiteGraph& g,
                                               const Deadline* deadline,
                                               const CancellationToken* cancel,
                                               bool* completed) {
+  return BruteForceMaximalBiplexesMaskRange(
+      g, k, deadline, cancel, completed, 0,
+      uint64_t{1} << g.NumLeft());
+}
+
+std::vector<Biplex> BruteForceMaximalBiplexesMaskRange(
+    const BipartiteGraph& g, KPair k, const Deadline* deadline,
+    const CancellationToken* cancel, bool* completed, uint64_t lmask_begin,
+    uint64_t lmask_end) {
   const size_t nl = g.NumLeft();
   const size_t nr = g.NumRight();
   assert(nl <= 20 && nr <= 20);
+  lmask_end = std::min(lmask_end, uint64_t{1} << nl);
   const MaskGraph m = BuildMasks(g);
   if (completed != nullptr) *completed = true;
 
   std::vector<Biplex> out;
   uint64_t visited = 0;
-  for (uint32_t lmask = 0; lmask < (1u << nl); ++lmask) {
+  for (uint64_t lmask64 = lmask_begin; lmask64 < lmask_end; ++lmask64) {
+    const uint32_t lmask = static_cast<uint32_t>(lmask64);
     for (uint32_t rmask = 0; rmask < (1u << nr); ++rmask) {
       if ((++visited & 0xffffu) == 0 &&
           ((deadline != nullptr && deadline->Expired()) ||

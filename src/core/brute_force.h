@@ -2,6 +2,7 @@
 #ifndef KBIPLEX_CORE_BRUTE_FORCE_H_
 #define KBIPLEX_CORE_BRUTE_FORCE_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "core/biplex.h"
@@ -34,6 +35,17 @@ std::vector<Biplex> BruteForceMaximalBiplexes(const BipartiteGraph& g,
                                               const Deadline* deadline,
                                               const CancellationToken* cancel,
                                               bool* completed);
+
+/// Shard of the exhaustive scan: checks only candidate pairs whose
+/// left-side mask lies in [lmask_begin, lmask_end). Maximality is still
+/// judged against the whole graph, so the union of the shards over a
+/// partition of [0, 2^|L|) is exactly the full solution set, with no
+/// duplicates across shards. This is the sharding hook of the parallel
+/// enumeration driver (api/); lmask_end is clamped to 2^|L|.
+std::vector<Biplex> BruteForceMaximalBiplexesMaskRange(
+    const BipartiteGraph& g, KPair k, const Deadline* deadline,
+    const CancellationToken* cancel, bool* completed, uint64_t lmask_begin,
+    uint64_t lmask_end);
 
 /// Filters `solutions` to those with |L| >= theta_left and
 /// |R| >= theta_right (the "large MBPs" of Section 5).

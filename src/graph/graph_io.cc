@@ -1,8 +1,11 @@
 #include "graph/graph_io.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <sstream>
+#include <string_view>
+#include <vector>
 
 namespace kbiplex {
 namespace {
@@ -15,47 +18,215 @@ bool IsCommentOrEmpty(const std::string& line) {
   return true;  // blank line
 }
 
+/// Strict non-negative integer parse: the whole token must be digits, so
+/// negative ids, floats ("0.5"), and trailing garbage ("3x") are rejected
+/// instead of being silently truncated or wrapped the way stream
+/// extraction into an unsigned would. At most 19 digits fit: their
+/// maximum (~1.0e19) still fits uint64 (< 2^64 ~ 1.8e19) without
+/// overflow; the id range itself is enforced by the caller.
+bool ParseId(std::string_view token, uint64_t* out) {
+  if (token.empty() || token.size() > 19) return false;
+  uint64_t value = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+/// One scanned data line, reduced to exactly what parsing and header
+/// disambiguation need — no per-token strings. Only the first line's
+/// record is retained; later lines stream straight into the edge vector.
+struct LineRec {
+  size_t line_no = 0;
+  uint32_t columns = 0;   // token count, saturated at 4 ("4 or more")
+  bool ids_ok = false;    // the first two tokens parse as ids (a, b)
+  bool third_ok = false;  // a third token exists and parses as an integer
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint64_t c = 0;
+};
+
+LineRec ScanLine(const std::string& line, size_t line_no) {
+  LineRec rec;
+  rec.line_no = line_no;
+  const auto is_blank = [](char ch) {
+    return ch == ' ' || ch == '\t' || ch == '\r';
+  };
+  std::string_view tok[3];
+  const std::string_view view(line);
+  for (size_t i = 0; i < view.size();) {
+    while (i < view.size() && is_blank(view[i])) ++i;
+    if (i >= view.size()) break;
+    const size_t start = i;
+    while (i < view.size() && !is_blank(view[i])) ++i;
+    if (rec.columns < 3) tok[rec.columns] = view.substr(start, i - start);
+    if (rec.columns < 4) ++rec.columns;
+  }
+  rec.ids_ok = rec.columns >= 2 && ParseId(tok[0], &rec.a) &&
+               ParseId(tok[1], &rec.b);
+  rec.third_ok = rec.columns >= 3 && ParseId(tok[2], &rec.c);
+  return rec;
+}
+
 }  // namespace
 
 LoadResult ParseEdgeList(const std::string& text) {
+  auto parse_error = [](size_t line_no, const std::string& why) {
+    return LoadResult{std::nullopt, "parse error at line " +
+                                        std::to_string(line_no) + ": " +
+                                        why};
+  };
+
+  // Single streaming pass. The first data line is held back (it may be an
+  // "L R M" header); every later line is validated immediately and its
+  // edge appended, while the aggregates the header decision needs —
+  // column uniformity, maximum ids, and the first line violating the
+  // candidate header's declared ranges — are folded in on the fly.
   std::istringstream in(text);
   std::string line;
-  std::vector<BipartiteGraph::Edge> edges;
-  uint64_t num_left = 0;
-  uint64_t num_right = 0;
-  bool have_header = false;
-  bool first_data_line = true;
   size_t line_no = 0;
+  bool have_first = false;
+  LineRec first;
+  std::vector<BipartiteGraph::Edge> edges;
+  bool all_two_columns = true;
+  uint64_t max_a = 0;
+  uint64_t max_b = 0;
+  size_t out_of_declared_range_line = 0;  // 0 = none
   while (std::getline(in, line)) {
     ++line_no;
     if (IsCommentOrEmpty(line)) continue;
-    std::istringstream ls(line);
-    uint64_t a = 0, b = 0, c = 0;
-    if (first_data_line) {
-      first_data_line = false;
-      if (ls >> a >> b >> c) {
-        // "L R M" header.
-        have_header = true;
-        num_left = a;
-        num_right = b;
-        continue;
+    if (!have_first) {
+      have_first = true;
+      first = ScanLine(line, line_no);
+      continue;
+    }
+    const LineRec rec = ScanLine(line, line_no);
+    if (!rec.ids_ok) {
+      return parse_error(rec.line_no, "expected two non-negative vertex ids");
+    }
+    if (rec.a >= kInvalidVertex || rec.b >= kInvalidVertex) {
+      return parse_error(rec.line_no, "vertex id too large");
+    }
+    all_two_columns = all_two_columns && rec.columns == 2;
+    max_a = std::max(max_a, rec.a);
+    max_b = std::max(max_b, rec.b);
+    if (out_of_declared_range_line == 0 &&
+        (rec.a >= first.a || rec.b >= first.b)) {
+      out_of_declared_range_line = rec.line_no;
+    }
+    edges.emplace_back(static_cast<VertexId>(rec.a),
+                       static_cast<VertexId>(rec.b));
+  }
+
+  // Header detection. A first data line with exactly three integer
+  // columns may be an "L R M" declaration or a KONECT-style weighted edge
+  // "u v w"; the shape of the rest of the file disambiguates:
+  //   - every later line has exactly two columns: the three-column line
+  //     can only be a header, so its claim is validated loudly — the
+  //     declared edge count must match and every id must be in range.
+  //   - later lines carry extra columns (weighted/mixed data): the header
+  //     interpretation is accepted when it validates (declared edge count
+  //     matches, every id in range). If only the count is off while every
+  //     id respects the declared sizes, both readings are suspect and the
+  //     parse fails loudly instead of guessing; if the ids do not respect
+  //     the sizes either, the line is an edge like the others (the fix
+  //     for headerless weighted edge lists whose first edge used to be
+  //     swallowed as a header).
+  //   - a lone three-column line is a header only when it declares zero
+  //     edges; otherwise it is a single weighted edge.
+  // Duplicate edge lines are common in real interaction data and the
+  // graph model collapses them, so a declared count may honestly refer to
+  // distinct edges; computed lazily, only when the raw count mismatches.
+  auto distinct_edge_count = [&edges] {
+    std::vector<BipartiteGraph::Edge> copy = edges;
+    std::sort(copy.begin(), copy.end());
+    return static_cast<size_t>(
+        std::unique(copy.begin(), copy.end()) - copy.begin());
+  };
+
+  bool have_header = false;
+  uint64_t num_left = 0;
+  uint64_t num_right = 0;
+  if (have_first && first.columns == 3 && first.ids_ok && first.third_ok) {
+    const uint64_t l = first.a;
+    const uint64_t r = first.b;
+    const uint64_t m = first.c;
+    const bool range_ok = out_of_declared_range_line == 0;
+    if (edges.empty()) {
+      // A lone three-column line: an "L R M" header of an edgeless graph
+      // when M = 0; with M > 0 it reads both as a truncated header and as
+      // a single weighted edge — refuse to guess.
+      if (m != 0) {
+        return parse_error(
+            first.line_no,
+            "ambiguous three-column line: reads as an \"L R M\" header "
+            "declaring " +
+                std::to_string(m) +
+                " edges in a file with no edge lines (truncated?), and as "
+                "a single weighted edge");
       }
-      ls.clear();
-      ls.str(line);
+      if (l > kInvalidVertex || r > kInvalidVertex) {
+        return parse_error(first.line_no, "declared side size too large");
+      }
+      have_header = true;
+      num_left = l;
+      num_right = r;
+    } else if (all_two_columns) {
+      if (l > kInvalidVertex || r > kInvalidVertex) {
+        return parse_error(first.line_no, "declared side size too large");
+      }
+      if (m != edges.size() && m != distinct_edge_count()) {
+        return parse_error(
+            first.line_no, "header declares " + std::to_string(m) +
+                               " edges but the file has " +
+                               std::to_string(edges.size()) + " edge lines");
+      }
+      if (!range_ok) {
+        return parse_error(out_of_declared_range_line,
+                           "vertex id out of declared range");
+      }
+      have_header = true;
+      num_left = l;
+      num_right = r;
+    } else if (l <= kInvalidVertex && r <= kInvalidVertex) {
+      const bool count_ok =
+          m == edges.size() || m == distinct_edge_count();
+      if (count_ok && range_ok) {
+        have_header = true;
+        num_left = l;
+        num_right = r;
+      } else if (range_ok) {
+        return parse_error(
+            first.line_no,
+            "ambiguous three-column first line: as an \"L R M\" header its "
+            "declared edge count does not match the " +
+                std::to_string(edges.size()) +
+                " edge lines; fix the count or comment the line out if it "
+                "is an edge");
+      }
     }
-    if (!(ls >> a >> b)) {
-      return {std::nullopt,
-              "parse error at line " + std::to_string(line_no) + ": '" +
-                  line + "'"};
+  }
+  if (!have_header) {
+    // The held-back first line is an edge like the others; trailing
+    // columns (weights, timestamps) are ignored throughout.
+    if (have_first) {
+      if (!first.ids_ok) {
+        return parse_error(first.line_no,
+                           "expected two non-negative vertex ids");
+      }
+      if (first.a >= kInvalidVertex || first.b >= kInvalidVertex) {
+        return parse_error(first.line_no, "vertex id too large");
+      }
+      edges.emplace_back(static_cast<VertexId>(first.a),
+                         static_cast<VertexId>(first.b));
+      max_a = std::max(max_a, first.a);
+      max_b = std::max(max_b, first.b);
     }
-    if (have_header && (a >= num_left || b >= num_right)) {
-      return {std::nullopt, "vertex id out of declared range at line " +
-                                std::to_string(line_no)};
-    }
-    edges.emplace_back(static_cast<VertexId>(a), static_cast<VertexId>(b));
-    if (!have_header) {
-      num_left = std::max(num_left, a + 1);
-      num_right = std::max(num_right, b + 1);
+    if (!edges.empty()) {
+      num_left = max_a + 1;
+      num_right = max_b + 1;
     }
   }
   return {BipartiteGraph::FromEdges(num_left, num_right, std::move(edges)),

@@ -2,10 +2,20 @@
 //
 // Format accepted by Load():
 //   - lines starting with '%' or '#' are comments;
-//   - an optional first data line "L R M" declaring the side sizes and the
-//     edge count (the edge count is advisory);
-//   - every other data line is "l r": an edge between left vertex l and
-//     right vertex r (0-based). Without a header the side sizes are
+//   - a data line is "l r [extra...]": an edge between left vertex l and
+//     right vertex r (0-based); trailing columns (KONECT weights or
+//     timestamps) are ignored. Ids are strict non-negative integers.
+//   - an optional header "L R M" declares the side sizes and edge count.
+//     A three-column first data line is a header claim: when the later
+//     lines are all two-column, the claim is validated loudly (M must
+//     equal the number of edge lines — raw or distinct, duplicates are
+//     collapsed — and every id must be < L / R); when later lines carry
+//     extra columns, the header is accepted if it validates, the parse
+//     fails if only the edge count is off (both readings are suspect),
+//     and the first line is an edge like the others if the ids do not
+//     respect the declared sizes. A lone three-column line is a header
+//     only when it declares M = 0; with M > 0 it is ambiguous with a
+//     truncated file and fails. Without a header the side sizes are
 //     inferred as max id + 1.
 #ifndef KBIPLEX_GRAPH_GRAPH_IO_H_
 #define KBIPLEX_GRAPH_GRAPH_IO_H_

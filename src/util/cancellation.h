@@ -17,22 +17,34 @@ namespace kbiplex {
 class CancellationToken {
  public:
   CancellationToken() = default;
+
+  /// A token chained to `parent`: it reports cancelled once either it or
+  /// the parent fires, while Cancel() only fires this token. The parallel
+  /// enumeration driver hands one such token to its workers so a global
+  /// stop (result cap, sink refusal) doesn't touch the caller's token and
+  /// a caller-side Cancel() still reaches every worker. `parent` is not
+  /// owned, may be null, and must outlive this token.
+  explicit CancellationToken(const CancellationToken* parent)
+      : parent_(parent) {}
+
   CancellationToken(const CancellationToken&) = delete;
   CancellationToken& operator=(const CancellationToken&) = delete;
 
   /// Requests the enumeration to stop at its next poll point.
   void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
 
-  /// True once Cancel() was called.
+  /// True once Cancel() was called on this token or an ancestor.
   bool IsCancelled() const {
-    return cancelled_.load(std::memory_order_relaxed);
+    return cancelled_.load(std::memory_order_relaxed) ||
+           (parent_ != nullptr && parent_->IsCancelled());
   }
 
-  /// Re-arms the token for a new run.
+  /// Re-arms this token for a new run (the parent, if any, is untouched).
   void Reset() { cancelled_.store(false, std::memory_order_relaxed); }
 
  private:
   std::atomic<bool> cancelled_{false};
+  const CancellationToken* parent_ = nullptr;
 };
 
 /// True iff `token` is non-null and cancelled; the form every backend's

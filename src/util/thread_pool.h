@@ -1,0 +1,61 @@
+// A small fixed-size thread pool used by the parallel enumeration driver
+// (api/). Lives in util/ so any layer can reuse it without depending on
+// the api/ layer. Tasks are plain std::function<void()> values executed in
+// FIFO order by a fixed set of worker threads; Wait() gives a barrier.
+#ifndef KBIPLEX_UTIL_THREAD_POOL_H_
+#define KBIPLEX_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kbiplex {
+
+/// Fixed-size worker pool. Construction spawns the workers; destruction
+/// waits for every submitted task and joins them. Submit and Wait may be
+/// called from any thread except the workers themselves (a task must not
+/// Wait() on its own pool). Tasks must not throw: exceptions escaping a
+/// task would terminate the process, so callers wrap fallible work and
+/// record errors through their own channel.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Waits for all pending tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void Wait();
+
+  size_t NumThreads() const { return workers_.size(); }
+
+  /// Threads the hardware supports, with a floor of 1 (the value used for
+  /// "threads = 0, pick for me" requests).
+  static size_t HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: task or shutdown
+  std::condition_variable idle_cv_;   // signals Wait(): everything drained
+  std::deque<std::function<void()>> queue_;
+  size_t running_ = 0;  // tasks currently executing
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace kbiplex
+
+#endif  // KBIPLEX_UTIL_THREAD_POOL_H_

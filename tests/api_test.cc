@@ -2,6 +2,7 @@
 // agreement against brute force, uniform budget/cancellation semantics,
 // sinks, and request validation.
 #include <algorithm>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <string>
@@ -168,6 +169,9 @@ TEST(Budgets, SinkStopStopsEveryBackend) {
     ASSERT_TRUE(stats.ok()) << req.algorithm << ": " << stats.error;
     EXPECT_EQ(n, 2u) << req.algorithm;
     EXPECT_FALSE(stats.completed) << req.algorithm;
+    // The second solution was refused by the sink, so it does not count
+    // as delivered: stats.solutions is the number of accepted solutions.
+    EXPECT_EQ(stats.solutions, 1u) << req.algorithm;
   }
 }
 
@@ -346,6 +350,25 @@ TEST(Stats, JsonRendering) {
   EXPECT_NE(json.find("\"completed\":true"), std::string::npos);
   EXPECT_NE(json.find("\"traversal\":{"), std::string::npos);
   EXPECT_EQ(json.find("\"error\""), std::string::npos);
+}
+
+TEST(Stats, JsonStaysValidForNonFiniteSeconds) {
+  // Time-budget edge cases can leave a non-finite seconds value; default
+  // ostream formatting would print bare "inf"/"nan", which is not JSON.
+  for (double bad : {std::numeric_limits<double>::infinity(),
+                     -std::numeric_limits<double>::infinity(),
+                     std::numeric_limits<double>::quiet_NaN()}) {
+    EnumerateStats stats;
+    stats.algorithm = "itraversal";
+    stats.seconds = bad;
+    std::string json = stats.ToJson();
+    EXPECT_NE(json.find("\"seconds\":null"), std::string::npos) << json;
+    EXPECT_EQ(json.find("inf"), std::string::npos) << json;
+    EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+  }
+  EnumerateStats stats;
+  stats.seconds = 0.25;
+  EXPECT_NE(stats.ToJson().find("\"seconds\":0.25"), std::string::npos);
 }
 
 TEST(Stats, BackendDetailPreserved) {

@@ -140,6 +140,101 @@ TEST(GraphIo, LoadMissingFileFails) {
   EXPECT_FALSE(r.ok());
 }
 
+// Regression: a headerless KONECT-style edge list whose lines carry a
+// weight/timestamp column used to have its first edge swallowed as an
+// "L R M" header (and later edges could then fail the range check).
+TEST(GraphIo, HeaderlessWeightedEdgeListIsNotMisreadAsHeader) {
+  auto r = ParseEdgeList("1 2 3\n0 5 7\n");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.graph->NumLeft(), 2u);   // max left id 1
+  EXPECT_EQ(r.graph->NumRight(), 6u);  // max right id 5
+  EXPECT_EQ(r.graph->NumEdges(), 2u);
+  EXPECT_TRUE(r.graph->HasEdge(1, 2));
+  EXPECT_TRUE(r.graph->HasEdge(0, 5));
+}
+
+TEST(GraphIo, LoneThreeColumnLineWithNonzeroCountFailsLoudly) {
+  // Reads both as a truncated "L R M" header and as a single weighted
+  // edge; either silent guess corrupts somebody's data, so it errors.
+  auto r = ParseEdgeList("% weighted\n1 2 3\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("ambiguous"), std::string::npos);
+}
+
+TEST(GraphIo, HeaderCountMayReferToDistinctEdges) {
+  // Interaction data repeats edges; the graph collapses duplicates, so a
+  // header declaring the distinct count is honest and must load.
+  auto r = ParseEdgeList("2 2 2\n0 0\n0 1\n0 1\n");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.graph->NumLeft(), 2u);
+  EXPECT_EQ(r.graph->NumEdges(), 2u);
+}
+
+TEST(GraphIo, TrailingColumnsOnDataLinesAreIgnored) {
+  auto r = ParseEdgeList("0 1 0.75\n1 0 0.5 1234567\n1 1 x\n");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.graph->NumEdges(), 3u);
+  EXPECT_TRUE(r.graph->HasEdge(0, 1));
+  EXPECT_TRUE(r.graph->HasEdge(1, 0));
+  EXPECT_TRUE(r.graph->HasEdge(1, 1));
+}
+
+TEST(GraphIo, HeaderOverWeightedDataLinesStillRecognized) {
+  // A valid "L R M" header followed by weighted edges is ambiguous with a
+  // purely-weighted file; the header wins when it validates (declared
+  // count matches and every id is in range).
+  auto r = ParseEdgeList("2 2 2\n0 0 1\n0 1 1\n");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.graph->NumLeft(), 2u);
+  EXPECT_EQ(r.graph->NumRight(), 2u);
+  EXPECT_EQ(r.graph->NumEdges(), 2u);
+  EXPECT_TRUE(r.graph->HasEdge(0, 0));
+  EXPECT_TRUE(r.graph->HasEdge(0, 1));
+}
+
+TEST(GraphIo, HeaderEdgeCountIsValidated) {
+  auto r = ParseEdgeList("3 3 5\n0 0\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("declares"), std::string::npos);
+}
+
+TEST(GraphIo, AmbiguousHeaderOverWeightedLinesFailsLoudly) {
+  // Looks like a header whose edge count is stale (ids respect the
+  // declared sizes) and like a weighted edge; refusing to guess beats
+  // silently corrupting the graph either way.
+  auto r = ParseEdgeList("3 3 99\n0 0 1\n0 1 1\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("ambiguous"), std::string::npos);
+}
+
+TEST(GraphIo, RejectsNegativeAndMalformedIds) {
+  EXPECT_FALSE(ParseEdgeList("0 1\n-1 2\n").ok());
+  EXPECT_FALSE(ParseEdgeList("0.5 1\n").ok());
+  EXPECT_FALSE(ParseEdgeList("3x 1\n").ok());
+  EXPECT_FALSE(ParseEdgeList("7\n").ok());
+  auto r = ParseEdgeList("0 1\n2 oops\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("line 2"), std::string::npos);
+}
+
+TEST(GraphIo, StringRoundTripPreservesIsolatedVertices) {
+  // Isolated vertices only survive a round trip through the header, so
+  // this pins both ToEdgeListString's header and its re-parsing.
+  auto g = MakeGraph(5, 7, {{0, 0}, {1, 1}, {1, 2}});
+  auto r = ParseEdgeList(ToEdgeListString(g));
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.graph->NumLeft(), 5u);
+  EXPECT_EQ(r.graph->NumRight(), 7u);
+  EXPECT_EQ(r.graph->Edges(), g.Edges());
+}
+
+TEST(GraphIo, CrlfLinesParse) {
+  auto r = ParseEdgeList("2 2 1\r\n0 1\r\n");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.graph->NumLeft(), 2u);
+  EXPECT_EQ(r.graph->NumEdges(), 1u);
+}
+
 // -------------------------------------------------------------- generators --
 
 TEST(Generators, ErdosRenyiExactEdgeCount) {

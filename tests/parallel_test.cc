@@ -1,0 +1,324 @@
+// Tests of the parallel enumeration subsystem: the thread pool, the
+// component decomposition, the thread-safe sink wrapper, cancellation
+// chaining, and — the load-bearing property — that the multi-threaded
+// driver delivers exactly the 1-thread solution set for every registered
+// algorithm.
+#include <atomic>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/enumerator.h"
+#include "api/parallel_driver.h"
+#include "graph/components.h"
+#include "graph/generators.h"
+#include "test_support.h"
+#include "util/thread_pool.h"
+
+namespace kbiplex {
+namespace {
+
+using testing_support::MakeGraph;
+using testing_support::MakeRandomGraph;
+using testing_support::ToString;
+
+// ----------------------------------------------------------- thread pool --
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.NumThreads(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 10);
+}
+
+// ------------------------------------------------------------ components --
+
+TEST(Components, SplitsAndMapsBack) {
+  // Two components: {l0, l1 | r0} and {l2 | r1, r2}; l3 and r3 isolated.
+  BipartiteGraph g =
+      MakeGraph(4, 4, {{0, 0}, {1, 0}, {2, 1}, {2, 2}});
+  std::vector<InducedSubgraph> comps = ConnectedComponents(g);
+  ASSERT_EQ(comps.size(), 4u);
+  EXPECT_EQ(comps[0].left_map, (std::vector<VertexId>{0, 1}));
+  EXPECT_EQ(comps[0].right_map, (std::vector<VertexId>{0}));
+  EXPECT_EQ(comps[0].graph.NumEdges(), 2u);
+  EXPECT_EQ(comps[1].left_map, (std::vector<VertexId>{2}));
+  EXPECT_EQ(comps[1].right_map, (std::vector<VertexId>{1, 2}));
+  EXPECT_EQ(comps[2].left_map, (std::vector<VertexId>{3}));
+  EXPECT_TRUE(comps[2].right_map.empty());
+  EXPECT_TRUE(comps[3].left_map.empty());
+  EXPECT_EQ(comps[3].right_map, (std::vector<VertexId>{3}));
+}
+
+TEST(Components, EveryVertexAppearsExactlyOnce) {
+  BipartiteGraph g = MakeRandomGraph({12, 10, 0.08, 7});
+  std::vector<InducedSubgraph> comps = ConnectedComponents(g);
+  std::set<VertexId> left, right;
+  size_t edges = 0;
+  for (const InducedSubgraph& c : comps) {
+    for (VertexId v : c.left_map) EXPECT_TRUE(left.insert(v).second);
+    for (VertexId u : c.right_map) EXPECT_TRUE(right.insert(u).second);
+    edges += c.graph.NumEdges();
+  }
+  EXPECT_EQ(left.size(), g.NumLeft());
+  EXPECT_EQ(right.size(), g.NumRight());
+  EXPECT_EQ(edges, g.NumEdges());
+}
+
+// ------------------------------------------------- synchronized sink ------
+
+TEST(Sinks, SynchronizedSinkStopIsSticky) {
+  int accepted = 0;
+  CallbackSink inner([&](const Biplex&) { return ++accepted < 2; });
+  SynchronizedSink sink(&inner);
+  Biplex b{{0}, {0}};
+  EXPECT_TRUE(sink.Accept(b));
+  EXPECT_FALSE(sink.Accept(b));  // inner refuses
+  EXPECT_FALSE(sink.Accept(b));  // sticky: inner not called again
+  EXPECT_EQ(accepted, 2);
+}
+
+TEST(Sinks, SynchronizedSinkSerializesConcurrentWriters) {
+  CountingSink counter;
+  SynchronizedSink sink(&counter);
+  ThreadPool pool(4);
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&sink] { sink.Accept(Biplex{{0}, {0}}); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.count(), 200u);
+}
+
+// ---------------------------------------------------- token chaining ------
+
+TEST(Cancellation, ChildTokenSeesParentCancel) {
+  CancellationToken parent;
+  CancellationToken child(&parent);
+  EXPECT_FALSE(child.IsCancelled());
+  parent.Cancel();
+  EXPECT_TRUE(child.IsCancelled());
+}
+
+TEST(Cancellation, ChildCancelDoesNotReachParent) {
+  CancellationToken parent;
+  CancellationToken child(&parent);
+  child.Cancel();
+  EXPECT_TRUE(child.IsCancelled());
+  EXPECT_FALSE(parent.IsCancelled());
+}
+
+// -------------------------------------------------- sharding safety -------
+
+TEST(ParallelDriver, ComponentShardingSafetyCondition) {
+  // Two disjoint edges form one maximal 1-biplex spanning both
+  // components, so thresholds at or below the budgets are never safe.
+  EXPECT_FALSE(internal::ComponentShardingIsSafe(KPair::Uniform(1), 0, 0));
+  EXPECT_FALSE(internal::ComponentShardingIsSafe(KPair::Uniform(1), 1, 1));
+  EXPECT_FALSE(internal::ComponentShardingIsSafe(KPair::Uniform(1), 2, 2));
+  EXPECT_TRUE(internal::ComponentShardingIsSafe(KPair::Uniform(1), 2, 3));
+  EXPECT_TRUE(internal::ComponentShardingIsSafe(KPair::Uniform(1), 3, 3));
+  EXPECT_FALSE(internal::ComponentShardingIsSafe(KPair::Uniform(2), 3, 3));
+  EXPECT_TRUE(internal::ComponentShardingIsSafe(KPair::Uniform(2), 3, 5));
+  EXPECT_TRUE(internal::ComponentShardingIsSafe(KPair{1, 2}, 3, 3));
+}
+
+// ------------------------------------------- parallel == sequential -------
+
+/// Disjoint union: appends `b`'s vertices after `a`'s on both sides.
+BipartiteGraph DisjointUnion(const BipartiteGraph& a,
+                             const BipartiteGraph& b) {
+  std::vector<BipartiteGraph::Edge> edges = a.Edges();
+  for (const auto& [l, r] : b.Edges()) {
+    edges.emplace_back(l + static_cast<VertexId>(a.NumLeft()),
+                       r + static_cast<VertexId>(a.NumRight()));
+  }
+  return BipartiteGraph::FromEdges(a.NumLeft() + b.NumLeft(),
+                                   a.NumRight() + b.NumRight(),
+                                   std::move(edges));
+}
+
+struct ParallelCase {
+  KPair k;
+  size_t theta_left;
+  size_t theta_right;
+};
+
+TEST(ParallelAgreement, EveryAlgorithmMatchesSequentialSet) {
+  // Multi-component graphs exercise the component plan where it is safe
+  // and the sequential fallback where it is not; the connected graph
+  // exercises the mask/root-range plans and the fallback.
+  std::vector<BipartiteGraph> graphs;
+  graphs.push_back(DisjointUnion(MakeRandomGraph({4, 4, 0.6, 11}),
+                                 MakeRandomGraph({4, 4, 0.7, 12})));
+  graphs.push_back(DisjointUnion(
+      DisjointUnion(MakeRandomGraph({3, 3, 0.8, 13}),
+                    MakeRandomGraph({4, 3, 0.5, 14})),
+      MakeRandomGraph({3, 4, 0.6, 15})));
+  graphs.push_back(MakeRandomGraph({6, 6, 0.5, 16}));
+
+  const std::vector<ParallelCase> cases = {
+      {KPair::Uniform(1), 0, 0},  // unsafe for components: fallback path
+      {KPair::Uniform(1), 1, 1},  // unsafe for components: fallback path
+      {KPair::Uniform(1), 3, 3},  // safe: component plan engages
+      {KPair::Uniform(2), 0, 0},
+      {KPair::Uniform(2), 3, 5},  // safe for k = 2
+      {KPair{1, 2}, 3, 3},        // asymmetric, traversal family only
+  };
+  const AlgorithmRegistry& registry = AlgorithmRegistry::Global();
+  for (size_t gi = 0; gi < graphs.size(); ++gi) {
+    Enumerator enumerator(graphs[gi]);
+    for (const ParallelCase& c : cases) {
+      for (const std::string& name : registry.Names()) {
+        AlgorithmInfo info = *registry.Find(name);
+        if (!info.supports_asymmetric_k && !c.k.IsUniform()) continue;
+        if (info.requires_theta && (c.theta_left < 1 || c.theta_right < 1)) {
+          continue;
+        }
+        EnumerateRequest req;
+        req.algorithm = name;
+        req.k = c.k;
+        req.theta_left = c.theta_left;
+        req.theta_right = c.theta_right;
+
+        EnumerateStats seq_stats;
+        req.threads = 1;
+        std::vector<Biplex> expect = enumerator.Collect(req, &seq_stats);
+        ASSERT_TRUE(seq_stats.ok()) << name << ": " << seq_stats.error;
+
+        EnumerateStats par_stats;
+        req.threads = 4;
+        std::vector<Biplex> got = enumerator.Collect(req, &par_stats);
+        ASSERT_TRUE(par_stats.ok()) << name << ": " << par_stats.error;
+        EXPECT_EQ(par_stats.solutions, seq_stats.solutions) << name;
+        EXPECT_TRUE(par_stats.completed) << name;
+        ASSERT_EQ(got, expect)
+            << name << " graph=" << gi << " k=(" << c.k.left << ","
+            << c.k.right << ") theta=(" << c.theta_left << ","
+            << c.theta_right << ")\ngot:\n"
+            << ToString(got) << "want:\n"
+            << ToString(expect);
+      }
+    }
+  }
+}
+
+TEST(ParallelAgreement, AutoThreadCountMatchesToo) {
+  BipartiteGraph g = DisjointUnion(MakeRandomGraph({4, 4, 0.6, 21}),
+                                   MakeRandomGraph({4, 4, 0.6, 22}));
+  Enumerator enumerator(g);
+  EnumerateRequest req;
+  req.algorithm = "brute-force";
+  req.threads = 1;
+  std::vector<Biplex> expect = enumerator.Collect(req);
+  req.threads = 0;  // one worker per hardware thread
+  EXPECT_EQ(enumerator.Collect(req), expect);
+}
+
+// ------------------------------------------------ budgets, cancellation ---
+
+/// Complete bipartite K(nl, nr): its unique maximal k-biplex is the whole
+/// vertex set, which makes solution counts exact in the budget tests.
+BipartiteGraph CompleteBipartite(size_t nl, size_t nr) {
+  std::vector<BipartiteGraph::Edge> edges;
+  for (VertexId l = 0; l < nl; ++l) {
+    for (VertexId r = 0; r < nr; ++r) edges.emplace_back(l, r);
+  }
+  return BipartiteGraph::FromEdges(nl, nr, std::move(edges));
+}
+
+TEST(ParallelBudgets, MaxResultsIsGlobalAcrossWorkers) {
+  // Two complete 5x5 components: with theta = (3, 3) each holds exactly
+  // one maximal 1-biplex (its full vertex set), so a global cap of 2 is
+  // reached exactly and stops every worker.
+  BipartiteGraph g =
+      DisjointUnion(CompleteBipartite(5, 5), CompleteBipartite(5, 5));
+  Enumerator enumerator(g);
+  for (const char* name : {"brute-force", "imb", "itraversal"}) {
+    EnumerateRequest req;
+    req.algorithm = name;
+    req.threads = 4;
+    req.theta_left = name == std::string_view("itraversal") ? 3 : 0;
+    req.theta_right = req.theta_left;
+    req.max_results = 2;
+    EnumerateStats stats;
+    uint64_t n = enumerator.Count(req, &stats);
+    ASSERT_TRUE(stats.ok()) << name << ": " << stats.error;
+    EXPECT_EQ(n, 2u) << name;
+    EXPECT_EQ(stats.solutions, 2u) << name;
+    EXPECT_FALSE(stats.completed) << name;
+  }
+}
+
+TEST(ParallelBudgets, PreCancelledTokenStopsParallelRuns) {
+  BipartiteGraph g = DisjointUnion(MakeRandomGraph({5, 5, 0.6, 33}),
+                                   MakeRandomGraph({5, 5, 0.6, 34}));
+  Enumerator enumerator(g);
+  CancellationToken token;
+  token.Cancel();
+  EnumerateRequest req;
+  req.algorithm = "brute-force";
+  req.threads = 4;
+  req.cancellation = &token;
+  EnumerateStats stats;
+  EXPECT_EQ(enumerator.Count(req, &stats), 0u);
+  EXPECT_FALSE(stats.completed);
+  EXPECT_TRUE(stats.cancelled);
+}
+
+TEST(ParallelBudgets, SinkStopCountsOnlyAcceptedSolutions) {
+  BipartiteGraph g = DisjointUnion(MakeRandomGraph({5, 5, 0.6, 35}),
+                                   MakeRandomGraph({5, 5, 0.6, 36}));
+  Enumerator enumerator(g);
+  EnumerateRequest req;
+  req.algorithm = "imb";
+  req.threads = 4;
+  std::atomic<int> calls{0};
+  EnumerateStats stats = enumerator.Run(
+      req, [&](const Biplex&) { return calls.fetch_add(1) + 1 < 3; });
+  ASSERT_TRUE(stats.ok()) << stats.error;
+  // The sink accepted exactly two solutions before refusing the third.
+  EXPECT_EQ(stats.solutions, 2u);
+  EXPECT_FALSE(stats.completed);
+}
+
+TEST(ParallelBudgets, NegativeThreadsRejected) {
+  BipartiteGraph g = MakeGraph(2, 2, {{0, 0}});
+  EnumerateRequest req;
+  req.threads = -2;
+  CountingSink sink;
+  EnumerateStats stats = Enumerate(g, req, &sink);
+  EXPECT_FALSE(stats.ok());
+  EXPECT_NE(stats.error.find("threads"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kbiplex

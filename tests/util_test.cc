@@ -303,9 +303,10 @@ TEST(Deadline, DisabledNeverExpires) {
 
 TEST(Deadline, TinyBudgetExpires) {
   Deadline d(1e-9);
-  // Burn a little time.
-  volatile int x = 0;
-  for (int i = 0; i < 100000; ++i) x += i;
+  // Burn a little time. (Unsigned, non-compound: the sum overflows an
+  // int, and compound assignment to volatile is deprecated in C++20.)
+  volatile unsigned x = 0;
+  for (unsigned i = 0; i < 100000; ++i) x = x + i;
   (void)x;
   EXPECT_TRUE(d.Expired());
 }

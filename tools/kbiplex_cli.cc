@@ -3,8 +3,8 @@
 //
 //   kbiplex enumerate <edge-list> [--k N | --kl N --kr N] [--max N]
 //                     [--budget SECONDS] [--algo NAME] [--theta-l N]
-//                     [--theta-r N] [--opt KEY=VALUE]... [--format text|json]
-//                     [--quiet]
+//                     [--theta-r N] [--threads N] [--opt KEY=VALUE]...
+//                     [--format text|json] [--quiet]
 //   kbiplex large     <edge-list> --theta-l N --theta-r N [--k N] [...]
 //   kbiplex stats     <edge-list>
 //   kbiplex algos
@@ -13,7 +13,11 @@
 // algos`); --opt passes backend-specific options through. With --format
 // json, solutions print as JSON lines and the unified run statistics
 // follow as a final JSON object on stdout, ready for scripting.
+#include <cctype>
+#include <cerrno>
+#include <charconv>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <optional>
@@ -45,8 +49,9 @@ void PrintUsage() {
                "  kbiplex enumerate <edge-list> [--k N | --kl N --kr N] "
                "[--max N] [--budget S]\n"
                "                    [--algo NAME] [--theta-l N] [--theta-r N] "
-               "[--opt KEY=VALUE]...\n"
-               "                    [--format text|json] [--quiet]\n"
+               "[--threads N]\n"
+               "                    [--opt KEY=VALUE]... [--format text|json] "
+               "[--quiet]\n"
                "  kbiplex large <edge-list> --theta-l N --theta-r N [--k N] "
                "[--max N] [--budget S] [--quiet]\n"
                "  kbiplex stats <edge-list>\n"
@@ -68,25 +73,59 @@ std::optional<CliArgs> Parse(int argc, char** argv) {
       if (i + 1 >= argc) return std::nullopt;
       return std::string(argv[++i]);
     };
-    // Parses the next argument into *out; a malformed number prints a
-    // message instead of throwing out of main.
+    // Parses the next argument into *out with strict full-token numeric
+    // parsing: trailing garbage ("5x"), a lone "-", and negative values
+    // for unsigned flags are usage errors, not silently-truncated or
+    // wrapped values (std::stoull("-1") would "succeed" as 2^64 - 1, and
+    // std::stoi("12x") as 12).
     auto next_parsed = [&](auto parse, auto* out) -> bool {
       auto v = next();
-      if (!v) return false;
-      try {
-        *out = parse(*v);
-        return true;
-      } catch (const std::exception&) {
-        std::cerr << "invalid value for " << flag << ": " << *v << "\n";
-        return false;
+      bool ok = v.has_value() && parse(*v, out);
+      if (!ok && v.has_value()) {
+        std::cerr << "invalid value for " << flag << ": '" << *v << "'\n";
+      } else if (!v.has_value()) {
+        std::cerr << flag << " requires a value\n";
       }
+      return ok;
     };
-    auto to_int = [](const std::string& s) { return std::stoi(s); };
-    auto to_uint64 = [](const std::string& s) { return std::stoull(s); };
-    auto to_size = [](const std::string& s) {
-      return static_cast<size_t>(std::stoull(s));
+    auto to_int = [](const std::string& s, int* out) {
+      const char* end = s.data() + s.size();
+      auto [ptr, ec] = std::from_chars(s.data(), end, *out);
+      return ec == std::errc() && ptr == end;
     };
-    auto to_double = [](const std::string& s) { return std::stod(s); };
+    auto to_uint64 = [](const std::string& s, uint64_t* out) {
+      const char* end = s.data() + s.size();
+      auto [ptr, ec] = std::from_chars(s.data(), end, *out);
+      return ec == std::errc() && ptr == end;
+    };
+    auto to_size = [&to_uint64](const std::string& s, size_t* out) {
+      uint64_t v = 0;
+      if (!to_uint64(s, &v)) return false;
+      *out = static_cast<size_t>(v);
+      return true;
+    };
+    // strtod instead of std::from_chars: the floating-point from_chars
+    // overloads are still missing from some standard libraries (libc++).
+    // strtod alone is too permissive ("inf", "nan", hex floats, leading
+    // whitespace/'+' all parse), so the token shape is checked first:
+    // plain decimal with an optional exponent only.
+    auto to_double = [](const std::string& s, double* out) {
+      if (s.empty()) return false;
+      const char c0 = s[0];
+      if (c0 != '-' && c0 != '.' && !(c0 >= '0' && c0 <= '9')) return false;
+      for (char c : s) {
+        if (std::isalpha(static_cast<unsigned char>(c)) && c != 'e' &&
+            c != 'E') {
+          return false;
+        }
+      }
+      errno = 0;
+      char* end = nullptr;
+      const double value = std::strtod(s.c_str(), &end);
+      if (end != s.c_str() + s.size() || errno == ERANGE) return false;
+      *out = value;
+      return true;
+    };
     if (flag == "--quiet") {
       args.quiet = true;
     } else if (flag == "--k") {
@@ -113,6 +152,13 @@ std::optional<CliArgs> Parse(int argc, char** argv) {
       if (!next_parsed(to_size, &args.request.theta_right)) {
         return std::nullopt;
       }
+    } else if (flag == "--threads") {
+      if (!next_parsed(to_int, &args.request.threads)) return std::nullopt;
+      if (args.request.threads < 0) {
+        std::cerr << "--threads must be >= 0 (0 = one per hardware "
+                     "thread)\n";
+        return std::nullopt;
+      }
     } else if (flag == "--algo") {
       auto v = next();
       if (!v) return std::nullopt;
@@ -121,8 +167,8 @@ std::optional<CliArgs> Parse(int argc, char** argv) {
       auto v = next();
       if (!v) return std::nullopt;
       const size_t eq = v->find('=');
-      if (eq == std::string::npos) {
-        std::cerr << "--opt expects KEY=VALUE, got: " << *v << "\n";
+      if (eq == std::string::npos || eq == 0) {
+        std::cerr << "--opt expects KEY=VALUE, got: '" << *v << "'\n";
         return std::nullopt;
       }
       args.request.backend_options[v->substr(0, eq)] = v->substr(eq + 1);
