@@ -4,11 +4,17 @@
 // behind the figure-level harnesses.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
 #include "bench_common.h"
 #include "core/biplex.h"
 #include "core/enum_almost_sat.h"
+#include "graph/adjacency_index.h"
 #include "graph/core_decomposition.h"
 #include "graph/generators.h"
+#include "graph/renumber.h"
 #include "index/btree.h"
 #include "util/dynamic_bitset.h"
 #include "util/random.h"
@@ -159,7 +165,118 @@ void BM_ITraversalFirst100(benchmark::State& state) {
 }
 BENCHMARK(BM_ITraversalFirst100);
 
+// The same workload with the full acceleration stack: attached adjacency
+// index + 2-hop-eligible configuration. Compare against
+// BM_ITraversalFirst100 to see the constant-factor win.
+void BM_ITraversalFirst100Accel(benchmark::State& state) {
+  auto g = bench::MakeDataset(bench::FindDataset("Crime"));
+  g.BuildAdjacencyIndex();
+  Enumerator enumerator(g);
+  for (auto _ : state) {
+    CountingSink sink;
+    enumerator.Run(bench::MakeRequest("itraversal", 1, 100, 0), &sink);
+    benchmark::DoNotOptimize(sink.count());
+  }
+}
+BENCHMARK(BM_ITraversalFirst100Accel);
+
+void BM_AdjacencyTest(benchmark::State& state) {
+  const bool indexed = state.range(0) != 0;
+  Rng rng(8);
+  auto g = ErdosRenyiBipartite(2000, 2000, 200000, &rng);
+  if (indexed) g.BuildAdjacencyIndex();
+  std::vector<std::pair<VertexId, VertexId>> probes;
+  for (size_t i = 0; i < 1024; ++i) {
+    probes.emplace_back(static_cast<VertexId>(rng.NextBelow(2000)),
+                        static_cast<VertexId>(rng.NextBelow(2000)));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [l, r] = probes[i++ & 1023];
+    benchmark::DoNotOptimize(g.IsAdjacent(Side::kLeft, l, r));
+  }
+}
+BENCHMARK(BM_AdjacencyTest)->Arg(0)->Arg(1);
+
+void BM_BitsetIntersectCount(benchmark::State& state) {
+  const size_t bits = static_cast<size_t>(state.range(0));
+  DynamicBitset a(bits), b(bits);
+  Rng rng(9);
+  for (size_t i = 0; i < bits / 20 + 1; ++i) {
+    a.Set(rng.NextBelow(bits));
+    b.Set(rng.NextBelow(bits));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.IntersectCount(b));
+  }
+}
+BENCHMARK(BM_BitsetIntersectCount)->Arg(1024)->Arg(65536);
+
+void BM_SortedContains(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<VertexId> v;
+  for (size_t i = 0; i < n; ++i) v.push_back(static_cast<VertexId>(2 * i));
+  Rng rng(10);
+  size_t i = 0;
+  std::vector<VertexId> probes;
+  for (size_t p = 0; p < 256; ++p) {
+    probes.push_back(static_cast<VertexId>(rng.NextBelow(2 * n + 1)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sorted::Contains(v, probes[i++ & 255]));
+  }
+}
+BENCHMARK(BM_SortedContains)->Arg(4)->Arg(16)->Arg(64)->Arg(1024);
+
+void BM_RenumberByDegeneracy(benchmark::State& state) {
+  const size_t edges = static_cast<size_t>(state.range(0));
+  Rng rng(11);
+  auto g = PowerLawBipartiteAsym(edges / 4, edges / 16, edges, 3.0, 2.2,
+                                 &rng);
+  for (auto _ : state) {
+    auto r = RenumberByDegeneracy(g);
+    benchmark::DoNotOptimize(r.graph.NumEdges());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(edges));
+}
+BENCHMARK(BM_RenumberByDegeneracy)->Arg(100000);
+
 }  // namespace
 }  // namespace kbiplex
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): console output stays the
+// google-benchmark default, and the run is additionally recorded as
+// machine-readable BENCH_micro.json (KBIPLEX_BENCH_JSON_DIR selects the
+// directory), mirroring the suite-wide BENCH_*.json convention. The JSON
+// file is produced by injecting --benchmark_out before Initialize — the
+// portable mechanism across google-benchmark versions — so an explicit
+// --benchmark_out on the command line wins.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) {
+      has_out = true;
+    }
+  }
+  std::string out_flag;
+  char format_flag[] = "--benchmark_out_format=json";
+  if (!has_out) {
+    const char* dir = std::getenv("KBIPLEX_BENCH_JSON_DIR");
+    std::string path = dir != nullptr && dir[0] != '\0'
+                           ? std::string(dir) + "/BENCH_micro.json"
+                           : "BENCH_micro.json";
+    out_flag = "--benchmark_out=" + path;
+    args.push_back(out_flag.data());
+    args.push_back(format_flag);
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

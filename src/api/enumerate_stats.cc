@@ -1,54 +1,14 @@
 #include "api/enumerate_stats.h"
 
-#include <cmath>
-#include <cstdio>
 #include <sstream>
 
+#include "util/json.h"
+
 namespace kbiplex {
-namespace {
 
-void AppendEscaped(std::ostream& os, const std::string& s) {
-  os << '"';
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        os << "\\\"";
-        break;
-      case '\\':
-        os << "\\\\";
-        break;
-      case '\n':
-        os << "\\n";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
-}
-
-const char* Bool(bool b) { return b ? "true" : "false"; }
-
-/// JSON has no inf/nan literals; default ostream formatting would emit
-/// them bare and corrupt the document (time-budget edge cases can yield a
-/// non-finite seconds value). Non-finite doubles render as null.
-void AppendDouble(std::ostream& os, double value) {
-  if (!std::isfinite(value)) {
-    os << "null";
-    return;
-  }
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.17g", value);
-  os << buf;
-}
-
-}  // namespace
+using json::AppendDouble;
+using json::AppendEscaped;
+using json::Bool;
 
 std::string EnumerateStats::ToJson() const {
   std::ostringstream os;
@@ -73,14 +33,23 @@ std::string EnumerateStats::ToJson() const {
        << ",\"almost_sat_graphs\":" << t.almost_sat_graphs
        << ",\"local_solutions\":" << t.local_solutions
        << ",\"dedup_hits\":" << t.dedup_hits
-       << ",\"max_stack_depth\":" << t.max_stack_depth << "}";
+       << ",\"max_stack_depth\":" << t.max_stack_depth
+       << ",\"candidates_generated\":" << t.candidates_generated
+       << ",\"candidates_pruned\":" << t.candidates_pruned
+       << ",\"adjacency_tests\":" << t.local_stats.adjacency_tests
+       << ",\"b_subsets\":" << t.local_stats.b_subsets
+       << ",\"a_subsets\":" << t.local_stats.a_subsets << "}";
   }
   if (large_mbp.has_value()) {
     const LargeMbpStats& l = *large_mbp;
     os << ",\"large_mbp\":{\"core_left\":" << l.core_left
        << ",\"core_right\":" << l.core_right
        << ",\"links\":" << l.traversal.links
-       << ",\"solutions_found\":" << l.traversal.solutions_found << "}";
+       << ",\"solutions_found\":" << l.traversal.solutions_found
+       << ",\"candidates_generated\":" << l.traversal.candidates_generated
+       << ",\"candidates_pruned\":" << l.traversal.candidates_pruned
+       << ",\"adjacency_tests\":" << l.traversal.local_stats.adjacency_tests
+       << "}";
   }
   if (imb.has_value()) {
     os << ",\"imb\":{\"nodes\":" << imb->nodes

@@ -168,6 +168,16 @@ class TraversalBackend final : public AlgorithmBackend {
                        {"hash", StoreBackend::kHashSet},
                        {"both", StoreBackend::kBoth}},
                       &opts.store_backend);
+    reader.TakeChoice("candidate_gen",
+                      {{"auto", CandidateGenMode::kAuto},
+                       {"scan", CandidateGenMode::kScan},
+                       {"twohop", CandidateGenMode::kTwoHop}},
+                      &opts.candidate_gen);
+    reader.TakeChoice("adjacency_index",
+                      {{"auto", AdjacencyAccelMode::kAuto},
+                       {"off", AdjacencyAccelMode::kOff},
+                       {"force", AdjacencyAccelMode::kForce}},
+                      &opts.adjacency_accel);
     if (std::string err = reader.Finish(); !err.empty()) {
       return Rejected(std::move(err));
     }
@@ -208,6 +218,16 @@ class LargeMbpBackend final : public AlgorithmBackend {
 
     OptionReader reader(req.backend_options);
     reader.TakeBool("core_reduction", &opts.core_reduction);
+    reader.TakeChoice("candidate_gen",
+                      {{"auto", CandidateGenMode::kAuto},
+                       {"scan", CandidateGenMode::kScan},
+                       {"twohop", CandidateGenMode::kTwoHop}},
+                      &opts.candidate_gen);
+    reader.TakeChoice("adjacency_index",
+                      {{"auto", AdjacencyAccelMode::kAuto},
+                       {"off", AdjacencyAccelMode::kOff},
+                       {"force", AdjacencyAccelMode::kForce}},
+                      &opts.adjacency_accel);
     if (std::string err = reader.Finish(); !err.empty()) {
       return Rejected(std::move(err));
     }

@@ -31,8 +31,19 @@
 //                     "local_r"                  r10 | r20
 //                     "polynomial_delay_output"  true | false
 //                     "store_backend"            btree | hash | both
+//                     "candidate_gen"            auto | scan | twohop
+//                     "adjacency_index"          auto | off | force
 //   large-mbp:        "core_reduction"           true | false
+//                     "candidate_gen"            auto | scan | twohop
+//                     "adjacency_index"          auto | off | force
 //   inflation:        "max_inflated_edges"       <N>  (0 = no guard)
+//
+// "candidate_gen" and "adjacency_index" tune the hot-path acceleration of
+// the traversal engines (see core/traversal_options.h); every setting
+// produces the exact same solution set. "adjacency_index" = off stops the
+// engine from building its own index but does not disable an index
+// already attached to the graph — benchmark baselines should use a graph
+// without BuildAdjacencyIndex.
 #ifndef KBIPLEX_API_ENUMERATOR_H_
 #define KBIPLEX_API_ENUMERATOR_H_
 

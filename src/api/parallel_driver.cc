@@ -130,9 +130,12 @@ void MergeInto(TraversalStats* into, const TraversalStats& s) {
   into->almost_sat_graphs += s.almost_sat_graphs;
   into->local_solutions += s.local_solutions;
   into->dedup_hits += s.dedup_hits;
+  into->candidates_generated += s.candidates_generated;
+  into->candidates_pruned += s.candidates_pruned;
   into->local_stats.b_subsets += s.local_stats.b_subsets;
   into->local_stats.a_subsets += s.local_stats.a_subsets;
   into->local_stats.local_solutions += s.local_stats.local_solutions;
+  into->local_stats.adjacency_tests += s.local_stats.adjacency_tests;
   into->completed = into->completed && s.completed;
   into->seconds += s.seconds;  // aggregate worker time, not wall clock
   into->max_stack_depth = std::max(into->max_stack_depth, s.max_stack_depth);

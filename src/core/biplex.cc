@@ -77,9 +77,8 @@ bool CanAdd(const BipartiteGraph& g, const Biplex& b, Side side, VertexId v,
   if (g.DiscCount(side, v, other) > own_budget) return false;
   // Every opposite member newly disconnected (from v) must tolerate one
   // more disconnection.
-  auto nb = g.Neighbors(side, v);
   for (VertexId u : other) {
-    if (std::binary_search(nb.begin(), nb.end(), u)) continue;
+    if (g.IsAdjacent(side, v, u)) continue;
     if (g.DiscCount(Opposite(side), u, same) + 1 > other_budget) {
       return false;
     }
@@ -244,9 +243,8 @@ void MaximalExtender::ExtendSide(Biplex* b, Side side) const {
     if (g_.ConnCount(side, v, tight) != tight.size()) continue;
     sorted::Insert(&same, v);
     // Update counters of the members v misses.
-    auto nb = g_.Neighbors(side, v);
     for (size_t i = 0; i < other.size(); ++i) {
-      if (std::binary_search(nb.begin(), nb.end(), other[i])) continue;
+      if (g_.IsAdjacent(side, v, other[i])) continue;
       if (++disc[i] == other_budget) sorted::Insert(&tight, other[i]);
     }
   }

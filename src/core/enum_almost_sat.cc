@@ -8,13 +8,9 @@
 namespace kbiplex {
 namespace {
 
-/// Edge test between `a` on side `a_side` and `u` on the opposite side.
-bool Adjacent(const BipartiteGraph& g, Side a_side, VertexId a, VertexId u) {
-  return a_side == Side::kLeft ? g.HasEdge(a, u) : g.HasEdge(u, a);
-}
-
 /// All state of one EnumAlmostSat invocation. A is the anchored side (the
-/// side of v), B the opposite side.
+/// side of v), B the opposite side. Scratch vectors live in the (possibly
+/// caller-owned) workspace so repeated invocations reuse their capacity.
 class AlmostSatEnumerator {
  public:
   AlmostSatEnumerator(const BipartiteGraph& g, const Biplex& h, Side v_side,
@@ -30,23 +26,42 @@ class AlmostSatEnumerator {
         cb_(cb),
         stats_(stats),
         a_(h.SideSet(v_side)),
-        b_(h.SideSet(Opposite(v_side))) {}
+        b_(h.SideSet(Opposite(v_side))),
+        // Resolve the acceleration source once: an explicitly supplied
+        // index wins, else the graph's attached one (may be null).
+        accel_(opts.adjacency != nullptr ? opts.adjacency
+                                         : g.adjacency_index()),
+        ws_(opts.workspace != nullptr ? *opts.workspace : local_ws_) {}
 
   /// Runs the enumeration; false iff the callback stopped it.
   bool Run() {
     Prepare();
+    bool go = RunSubsets();
+    if (stats_ != nullptr) stats_->adjacency_tests += adj_tests_;
+    return go;
+  }
+
+ private:
+  /// Edge test between A-side vertex `a` and B-side vertex `u`, through
+  /// the bitset fast path when a row is available.
+  bool Adjacent(VertexId a, VertexId u) {
+    ++adj_tests_;
+    return AcceleratedIsAdjacent(accel_, g_, v_side_, a, u);
+  }
+
+  bool RunSubsets() {
     // Enumerate B'' = B''_1 ∪ B''_2 with |B''| <= k (refinement R1.0); under
     // R2.0 additionally require |B''| = k or B''_1 = B1 (Lemma 4.2).
-    for (size_t s2 = 0; s2 <= std::min(ka_, b2_.size()); ++s2) {
-      for (size_t s1 = 0; s1 + s2 <= ka_ && s1 <= b1_.size(); ++s1) {
+    for (size_t s2 = 0; s2 <= std::min(ka_, ws_.b2.size()); ++s2) {
+      for (size_t s1 = 0; s1 + s2 <= ka_ && s1 <= ws_.b1.size(); ++s1) {
         if (opts_.r_variant == RRefinement::kR20 && s1 + s2 < ka_ &&
-            s1 < b1_.size()) {
+            s1 < ws_.b1.size()) {
           continue;  // pruned by Lemma 4.2
         }
         bool go = ForEachCombination(
-            b1_.size(), s1, [&](const std::vector<size_t>& c1) {
+            ws_.b1.size(), s1, [&](const std::vector<size_t>& c1) {
               return ForEachCombination(
-                  b2_.size(), s2, [&](const std::vector<size_t>& c2) {
+                  ws_.b2.size(), s2, [&](const std::vector<size_t>& c2) {
                     return ProcessBSubset(c1, c2);
                   });
             });
@@ -56,48 +71,45 @@ class AlmostSatEnumerator {
     return true;
   }
 
- private:
   /// Partitions B into B_keep / B1 / B2 and precomputes disconnection
   /// counters (the O(|A|·|B|) preprocessing of Algorithm 3, line 1).
   void Prepare() {
-    disc_a_of_b_.resize(b_.size());
-    v_adj_b_.resize(b_.size());
+    ws_.b_keep.clear();
+    ws_.b1.clear();
+    ws_.b2.clear();
+    ws_.excluded_a_idx.clear();
+    ws_.disc_a_of_b.resize(b_.size());
+    ws_.v_adj_b.resize(b_.size());
     for (size_t i = 0; i < b_.size(); ++i) {
       const VertexId u = b_[i];
-      disc_a_of_b_[i] = a_.size() - g_.ConnCount(Opposite(v_side_), u, a_);
-      assert(disc_a_of_b_[i] <= kb_);  // (A, B) is a k-biplex
-      v_adj_b_[i] = Adjacent(g_, v_side_, v_, u);
-      if (v_adj_b_[i]) {
-        b_keep_.push_back(u);
-      } else if (disc_a_of_b_[i] <= kb_ - 1) {
-        b1_.push_back(i);  // store index into B
+      ws_.disc_a_of_b[i] =
+          a_.size() -
+          AcceleratedConnCount(accel_, g_, Opposite(v_side_), u, a_);
+      assert(ws_.disc_a_of_b[i] <= kb_);  // (A, B) is a k-biplex
+      ws_.v_adj_b[i] = Adjacent(v_, u);
+      if (ws_.v_adj_b[i]) {
+        ws_.b_keep.push_back(u);
+      } else if (ws_.disc_a_of_b[i] <= kb_ - 1) {
+        ws_.b1.push_back(i);  // store index into B
       } else {
-        b2_.push_back(i);
+        ws_.b2.push_back(i);
       }
     }
-    disc_keep_of_a_.resize(a_.size());
+    ws_.disc_keep_of_a.resize(a_.size());
     for (size_t j = 0; j < a_.size(); ++j) {
-      disc_keep_of_a_[j] =
-          b_keep_.size() - g_.ConnCount(v_side_, a_[j], b_keep_);
+      ws_.disc_keep_of_a[j] =
+          ws_.b_keep.size() -
+          AcceleratedConnCount(accel_, g_, v_side_, a_[j],
+                               ws_.b_keep);
     }
     if (opts_.excluded_anchored != nullptr &&
         opts_.excluded_anchored->size() != 0) {
       for (size_t j = 0; j < a_.size(); ++j) {
         if (opts_.excluded_anchored->Test(a_[j])) {
-          excluded_a_idx_.push_back(j);
+          ws_.excluded_a_idx.push_back(j);
         }
       }
     }
-  }
-
-  /// Number of vertices in `a_indices` (indices into A) disconnected from
-  /// right-role vertex `u`.
-  size_t DiscWithin(const std::vector<size_t>& a_indices, VertexId u) const {
-    size_t n = 0;
-    for (size_t j : a_indices) {
-      if (!Adjacent(g_, v_side_, a_[j], u)) ++n;
-    }
-    return n;
   }
 
   /// Handles one B'' choice; returns false iff the callback stopped.
@@ -109,57 +121,61 @@ class AlmostSatEnumerator {
       return false;  // abort: the engine re-checks its own budget
     }
     // Materialize B'' (ids) and B''_2 (ids), both sorted.
-    bpp_.clear();
-    bpp2_.clear();
-    for (size_t i : c1) bpp_.push_back(b_[b1_[i]]);
+    ws_.bpp.clear();
+    ws_.bpp2.clear();
+    for (size_t i : c1) ws_.bpp.push_back(b_[ws_.b1[i]]);
     for (size_t i : c2) {
-      bpp_.push_back(b_[b2_[i]]);
-      bpp2_.push_back(b_[b2_[i]]);
+      ws_.bpp.push_back(b_[ws_.b2[i]]);
+      ws_.bpp2.push_back(b_[ws_.b2[i]]);
     }
-    std::sort(bpp_.begin(), bpp_.end());
+    std::sort(ws_.bpp.begin(), ws_.bpp.end());
     // B' = B_keep ∪ B''.
-    bp_ = sorted::Union(b_keep_, bpp_);
-    if (bp_.size() < opts_.min_b_size) return true;  // Section 5 prune
+    ws_.bp.clear();
+    std::set_union(ws_.b_keep.begin(), ws_.b_keep.end(), ws_.bpp.begin(),
+                   ws_.bpp.end(), std::back_inserter(ws_.bp));
+    if (ws_.bp.size() < opts_.min_b_size) return true;  // Section 5 prune
 
     // A_remo: members of A disconnected from at least one vertex of B''_2
     // (indices into A). Removal sets are bounded by |B''_2| (Lemma 4.3).
-    a_remo_.clear();
-    if (!bpp2_.empty()) {
+    ws_.a_remo.clear();
+    if (!ws_.bpp2.empty()) {
       for (size_t j = 0; j < a_.size(); ++j) {
-        if (g_.ConnCount(v_side_, a_[j], bpp2_) < bpp2_.size()) {
-          a_remo_.push_back(j);
+        if (AcceleratedConnCount(accel_, g_, v_side_, a_[j],
+                                 ws_.bpp2) < ws_.bpp2.size()) {
+          ws_.a_remo.push_back(j);
         }
       }
     }
     // Exclusion-driven required removals: every excluded A-member must be
     // removed, or all local solutions of this B'' retain it and would be
     // pruned by the traversal's exclusion strategy anyway.
-    req_.clear();
-    if (!excluded_a_idx_.empty()) {
-      for (size_t j : excluded_a_idx_) {
-        if (!std::binary_search(a_remo_.begin(), a_remo_.end(), j)) {
+    ws_.req.clear();
+    if (!ws_.excluded_a_idx.empty()) {
+      for (size_t j : ws_.excluded_a_idx) {
+        if (!std::binary_search(ws_.a_remo.begin(), ws_.a_remo.end(), j)) {
           return true;  // not removable within this B'': skip it entirely
         }
-        req_.push_back(j);
+        ws_.req.push_back(j);
       }
-      if (req_.size() > bpp2_.size()) return true;  // removal budget
+      if (ws_.req.size() > ws_.bpp2.size()) return true;  // removal budget
     }
-    rest_.clear();
-    std::set_difference(a_remo_.begin(), a_remo_.end(), req_.begin(),
-                        req_.end(), std::back_inserter(rest_));
-    BoundedSubsetEnumerator en(rest_.size(), bpp2_.size() - req_.size());
+    ws_.rest.clear();
+    std::set_difference(ws_.a_remo.begin(), ws_.a_remo.end(),
+                        ws_.req.begin(), ws_.req.end(),
+                        std::back_inserter(ws_.rest));
+    BoundedSubsetEnumerator en(ws_.rest.size(),
+                               ws_.bpp2.size() - ws_.req.size());
     while (en.Next()) {
       if (stats_ != nullptr) ++stats_->a_subsets;
       // Removal set as indices into A: forced removals plus the chosen
       // subset of the remaining eligible members.
-      abar_.clear();
-      for (size_t pos : en.current()) abar_.push_back(rest_[pos]);
-      if (!req_.empty()) {
-        std::vector<size_t> merged;
-        merged.reserve(abar_.size() + req_.size());
-        std::merge(abar_.begin(), abar_.end(), req_.begin(), req_.end(),
-                   std::back_inserter(merged));
-        abar_ = std::move(merged);
+      ws_.abar.clear();
+      for (size_t pos : en.current()) ws_.abar.push_back(ws_.rest[pos]);
+      if (!ws_.req.empty()) {
+        ws_.merged.clear();
+        std::merge(ws_.abar.begin(), ws_.abar.end(), ws_.req.begin(),
+                   ws_.req.end(), std::back_inserter(ws_.merged));
+        std::swap(ws_.abar, ws_.merged);
       }
       if (!CandidateIsLocalSolution()) continue;
       if (opts_.l_variant == LRefinement::kL20) en.PruneSupersetsOfCurrent();
@@ -170,23 +186,23 @@ class AlmostSatEnumerator {
   }
 
   /// δ̄(u, A' ∪ {v}) for B-side vertex at index `i` of B, under the current
-  /// removal set abar_.
-  size_t DiscInCandidateA(size_t i) const {
+  /// removal set ws_.abar.
+  size_t DiscInCandidateA(size_t i) {
     size_t removed = 0;
-    for (size_t j : abar_) {
-      if (!Adjacent(g_, v_side_, a_[j], b_[i])) ++removed;
+    for (size_t j : ws_.abar) {
+      if (!Adjacent(a_[j], b_[i])) ++removed;
     }
-    return disc_a_of_b_[i] - removed + (v_adj_b_[i] ? 0 : 1);
+    return ws_.disc_a_of_b[i] - removed + (ws_.v_adj_b[i] ? 0 : 1);
   }
 
   /// Validity + local maximality of (A \ Ā ∪ {v}, B') per Section 4.
-  bool CandidateIsLocalSolution() const {
+  bool CandidateIsLocalSolution() {
     // (a) k-biplex validity: every u ∈ B''_2 needs at least one of its
     // disconnected A-members removed (its count is k+1 otherwise).
-    for (VertexId u : bpp2_) {
+    for (VertexId u : ws_.bpp2) {
       bool covered = false;
-      for (size_t j : abar_) {
-        if (!Adjacent(g_, v_side_, a_[j], u)) {
+      for (size_t j : ws_.abar) {
+        if (!Adjacent(a_[j], u)) {
           covered = true;
           break;
         }
@@ -194,16 +210,16 @@ class AlmostSatEnumerator {
       if (!covered) return false;
     }
     // (b) A-side local maximality: no removed vertex may be addable back.
-    for (size_t j : abar_) {
-      size_t disc_w = disc_keep_of_a_[j];
+    for (size_t j : ws_.abar) {
+      size_t disc_w = ws_.disc_keep_of_a[j];
       const VertexId w = a_[j];
-      for (VertexId u : bpp_) {
-        if (!Adjacent(g_, v_side_, w, u)) ++disc_w;
+      for (VertexId u : ws_.bpp) {
+        if (!Adjacent(w, u)) ++disc_w;
       }
       if (disc_w > ka_) continue;  // w's own budget forbids re-adding it
       bool addable = true;
-      for (VertexId u : bp_) {
-        if (Adjacent(g_, v_side_, w, u)) continue;
+      for (VertexId u : ws_.bp) {
+        if (Adjacent(w, u)) continue;
         const size_t i = IndexInB(u);
         if (DiscInCandidateA(i) + 1 > kb_) {
           addable = false;
@@ -217,10 +233,10 @@ class AlmostSatEnumerator {
     // own count fits; members of A' can never block such a u, because
     // δ̄(a, B') = k together with a disconnected u ∈ B \ B' would force
     // δ̄(a, B) > k, contradicting that (A, B) is a k-biplex.
-    if (bpp_.size() < ka_) {
-      for (const auto& bucket : {b1_, b2_}) {
+    if (ws_.bpp.size() < ka_) {
+      for (const auto& bucket : {ws_.b1, ws_.b2}) {
         for (size_t i : bucket) {
-          if (sorted::Contains(bpp_, b_[i])) continue;
+          if (sorted::Contains(ws_.bpp, b_[i])) continue;
           if (DiscInCandidateA(i) <= kb_) return false;  // u addable
         }
       }
@@ -228,21 +244,25 @@ class AlmostSatEnumerator {
     return true;
   }
 
-  /// Builds the local-solution Biplex and invokes the callback.
+  /// Builds the local-solution Biplex (in the workspace buffer) and
+  /// invokes the callback. The callback must copy if it keeps the value.
   bool EmitCandidate() {
-    Biplex loc;
+    Biplex& loc = ws_.loc;
+    loc.left.clear();
+    loc.right.clear();
     std::vector<VertexId>& anchored = loc.MutableSideSet(v_side_);
-    anchored.reserve(a_.size() - abar_.size() + 1);
+    anchored.reserve(a_.size() - ws_.abar.size() + 1);
     size_t next_removed = 0;
     for (size_t j = 0; j < a_.size(); ++j) {
-      if (next_removed < abar_.size() && abar_[next_removed] == j) {
+      if (next_removed < ws_.abar.size() && ws_.abar[next_removed] == j) {
         ++next_removed;
         continue;
       }
       anchored.push_back(a_[j]);
     }
     sorted::Insert(&anchored, v_);
-    loc.MutableSideSet(Opposite(v_side_)) = bp_;
+    std::vector<VertexId>& other = loc.MutableSideSet(Opposite(v_side_));
+    other.assign(ws_.bp.begin(), ws_.bp.end());
     return cb_(loc);
   }
 
@@ -263,21 +283,12 @@ class AlmostSatEnumerator {
   const std::vector<VertexId>& a_;
   const std::vector<VertexId>& b_;
 
-  // Precomputed per invocation.
-  std::vector<size_t> disc_a_of_b_;   // δ̄(u, A), aligned with B
-  std::vector<char> v_adj_b_;         // v adjacent to B[i]?
-  std::vector<VertexId> b_keep_;      // ids
-  std::vector<size_t> b1_, b2_;       // indices into B
-  std::vector<size_t> disc_keep_of_a_;  // δ̄(a, B_keep), aligned with A
+  const AdjacencyIndex* accel_;  // resolved acceleration source; may be null
+  EnumAlmostSatWorkspace local_ws_;  // fallback when no workspace is given
+  EnumAlmostSatWorkspace& ws_;
 
-  // Per-B''-subset scratch.
   uint32_t deadline_poll_ = 0;
-  std::vector<VertexId> bpp_, bpp2_, bp_;
-  std::vector<size_t> a_remo_;  // indices into A
-  std::vector<size_t> abar_;    // removal set, indices into A
-  std::vector<size_t> excluded_a_idx_;  // excluded members of A (indices)
-  std::vector<size_t> req_;     // forced removals (indices into A)
-  std::vector<size_t> rest_;    // a_remo_ minus req_
+  uint64_t adj_tests_ = 0;
 };
 
 }  // namespace

@@ -20,8 +20,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "core/biplex.h"
+#include "graph/adjacency_index.h"
 #include "graph/bipartite_graph.h"
 #include "util/dynamic_bitset.h"
 #include "util/timer.h"
@@ -33,6 +35,28 @@ enum class LRefinement : uint8_t { kL10, kL20 };
 
 /// Refined enumeration variant on the subset (opposite) side.
 enum class RRefinement : uint8_t { kR10, kR20 };
+
+/// Reusable scratch buffers of one EnumAlmostSat invocation. The traversal
+/// engines call EnumAlmostSat once per candidate vertex — thousands of
+/// times per second — and each call needs ~15 scratch vectors; routing the
+/// calls through one caller-owned workspace keeps the buffers' heap
+/// capacity alive across calls so steady state allocates nothing.
+/// A workspace may be reused freely between calls but never concurrently.
+struct EnumAlmostSatWorkspace {
+  std::vector<size_t> disc_a_of_b;    // δ̄(u, A), aligned with B
+  std::vector<char> v_adj_b;          // v adjacent to B[i]?
+  std::vector<VertexId> b_keep;       // ids
+  std::vector<size_t> b1, b2;         // indices into B
+  std::vector<size_t> disc_keep_of_a; // δ̄(a, B_keep), aligned with A
+  std::vector<VertexId> bpp, bpp2, bp;
+  std::vector<size_t> a_remo;         // indices into A
+  std::vector<size_t> abar;           // removal set, indices into A
+  std::vector<size_t> excluded_a_idx; // excluded members of A (indices)
+  std::vector<size_t> req;            // forced removals (indices into A)
+  std::vector<size_t> rest;           // a_remo minus req
+  std::vector<size_t> merged;         // merge scratch for abar ∪ req
+  Biplex loc;                         // local-solution assembly buffer
+};
 
 /// Configuration of one EnumAlmostSat invocation.
 struct EnumAlmostSatOptions {
@@ -51,6 +75,13 @@ struct EnumAlmostSatOptions {
   /// to avoid enumerating local solutions it would discard anyway —
   /// removal sets are forced to cover every marked member. Not owned.
   const DynamicBitset* excluded_anchored = nullptr;
+  /// Optional bitset-adjacency acceleration for the O(1) edge-test fast
+  /// path; adjacency falls back to the graph's CSR search (or its own
+  /// attached index) when null or rowless. Not owned.
+  const AdjacencyIndex* adjacency = nullptr;
+  /// Optional caller-owned scratch buffers reused across invocations;
+  /// when null each call allocates its own. Not owned.
+  EnumAlmostSatWorkspace* workspace = nullptr;
 };
 
 /// Work counters for one or more invocations.
@@ -58,9 +89,13 @@ struct EnumAlmostSatStats {
   uint64_t b_subsets = 0;        // B'' candidate subsets examined
   uint64_t a_subsets = 0;        // removal sets examined
   uint64_t local_solutions = 0;  // local solutions reported
+  uint64_t adjacency_tests = 0;  // pairwise edge tests issued
 };
 
 /// Receives each local solution; returns false to stop the enumeration.
+/// The Biplex reference is only valid for the duration of the call — the
+/// enumerator assembles every local solution in a reused workspace
+/// buffer — so a callback that keeps a solution must copy it.
 using LocalSolutionCallback = std::function<bool(const Biplex&)>;
 
 /// Enumerates all local solutions within the almost-satisfying graph

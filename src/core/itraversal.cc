@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
-#include <deque>
+#include <memory>
+#include <vector>
 
 #include "baselines/inflation_enum.h"
+#include "graph/adjacency_index.h"
+#include "util/arena_pool.h"
 #include "util/dynamic_bitset.h"
 #include "util/timer.h"
 
@@ -20,6 +23,24 @@ class TraversalEngine::Impl {
   Impl(const BipartiteGraph& g, const TraversalOptions& opts)
       : g_(g), opts_(opts), extender_(g, opts.k) {
     assert(opts.k.left >= 1 && opts.k.right >= 1);
+    switch (opts_.adjacency_accel) {
+      case AdjacencyAccelMode::kOff:
+        break;
+      case AdjacencyAccelMode::kAuto:
+        accel_ = g.adjacency_index();
+        if (accel_ == nullptr && g.NumEdges() >= kAutoIndexMinEdges) {
+          owned_accel_ = std::make_unique<AdjacencyIndex>(g);
+          accel_ = owned_accel_.get();
+        }
+        break;
+      case AdjacencyAccelMode::kForce:
+        accel_ = g.adjacency_index();
+        if (accel_ == nullptr) {
+          owned_accel_ = std::make_unique<AdjacencyIndex>(g);
+          accel_ = owned_accel_.get();
+        }
+        break;
+    }
   }
 
   Biplex InitialSolution() const {
@@ -43,6 +64,25 @@ class TraversalEngine::Impl {
     return b;
   }
 
+  /// True iff the incremental 2-hop candidate generator is provably
+  /// equivalent to the full-side scan for this configuration: the
+  /// Section 5 almost-satisfying-graph prune must already discard every
+  /// candidate with fewer than theta_other - k connections into the
+  /// non-anchored member set (so skipping conn = 0 vertices — everything
+  /// farther than two hops from H — changes nothing), and right-shrinking
+  /// must hold so the pruned subtrees cannot contain surviving solutions.
+  bool TwoHopApplies() const {
+    if (opts_.candidate_gen == CandidateGenMode::kScan) return false;
+    if (!opts_.left_anchored || !opts_.right_shrinking ||
+        !opts_.prune_small) {
+      return false;
+    }
+    const size_t theta_other = ThetaOpposite(opts_.anchored_side);
+    const size_t k_side =
+        static_cast<size_t>(opts_.k.ForSide(opts_.anchored_side));
+    return theta_other > k_side;
+  }
+
   TraversalStats Run(const SolutionCallback& cb) {
     stats_ = TraversalStats();
     cb_ = &cb;
@@ -51,11 +91,13 @@ class TraversalEngine::Impl {
     WallTimer timer;
     Deadline deadline(opts_.time_budget_seconds);
     deadline_ = &deadline;
+    twohop_ = TwoHopApplies();
 
     Biplex h0 = InitialSolution();
+    if (twohop_) InitConnCounts(h0);
     store_->Insert(h0);
     ++stats_.solutions_found;
-    std::deque<Frame> stack;
+    std::vector<std::unique_ptr<Frame>> stack;
     stack.push_back(MakeFrame(std::move(h0), 0, nullptr));
     stats_.max_stack_depth = 1;
 
@@ -66,7 +108,7 @@ class TraversalEngine::Impl {
         stats_.completed = false;
         break;
       }
-      Frame& f = stack.back();
+      Frame& f = *stack.back();
       if (!f.emitted_pre) {
         f.emitted_pre = true;
         if (!opts_.polynomial_delay_output || f.depth % 2 == 0) Emit(f.h);
@@ -93,7 +135,7 @@ class TraversalEngine::Impl {
       }
       if (f.recurse && NextBatch(&f)) continue;
       if (opts_.polynomial_delay_output && f.depth % 2 == 1) Emit(f.h);
-      if (!stop_) stack.pop_back();
+      if (!stop_) PopFrame(&stack);
     }
     if (!stack.empty() && stats_.completed) stats_.completed = false;
     stats_.seconds = timer.ElapsedSeconds();
@@ -121,19 +163,86 @@ class TraversalEngine::Impl {
     // excluded vertex, so the whole frame is sterile.
     bool excl_scanned = false;
     size_t excl_members_anchored = 0;
+    // 2-hop candidate generator state: the materialized (sorted)
+    // candidate list, the diffs against the parent frame used to keep the
+    // engine's connection counters incremental, and the parent link the
+    // list is derived from. `parent` outlives this frame (it sits below
+    // it on the DFS stack).
+    const Frame* parent = nullptr;
+    bool cands_ready = false;
+    size_t cand_pos = 0;
+    std::vector<VertexId> cands;
+    std::vector<VertexId> b_removed;  // parent B \ this B
+    std::vector<VertexId> a_removed;  // parent A \ this A
+
+    /// Restores logical emptiness while keeping buffer capacity; called
+    /// by the frame arena on recycled frames.
+    void Reset() {
+      h.left.clear();
+      h.right.clear();
+      next_cand[0] = next_cand[1] = 0;
+      side_phase = 0;
+      batch.clear();
+      batch_pos = 0;
+      batch_active = false;
+      batch_side = Side::kLeft;
+      batch_v = kInvalidVertex;
+      depth = 0;
+      emitted_pre = false;
+      recurse = true;
+      excl_scanned = false;
+      excl_members_anchored = 0;
+      parent = nullptr;
+      cands_ready = false;
+      cand_pos = 0;
+      cands.clear();
+      b_removed.clear();
+      a_removed.clear();
+      // excl[] is reassigned by MakeFrame when the exclusion strategy is
+      // on (copy-assignment reuses the word buffers) and never read when
+      // it is off, so it needs no reset here.
+    }
   };
 
-  Frame MakeFrame(Biplex h, size_t depth, const Frame* parent) {
-    Frame f;
+  std::unique_ptr<Frame> MakeFrame(Biplex h, size_t depth,
+                                   const Frame* parent) {
+    std::unique_ptr<Frame> fp = frame_pool_.Acquire();
+    Frame& f = *fp;
     f.h = std::move(h);
     f.depth = depth;
+    f.parent = parent;
     if (opts_.exclusion) {
       if (parent != nullptr) {
         f.excl[0] = parent->excl[0];
         f.excl[1] = parent->excl[1];
       } else {
-        f.excl[0] = DynamicBitset(g_.NumLeft());
-        f.excl[1] = DynamicBitset(g_.NumRight());
+        f.excl[0].Resize(g_.NumLeft());
+        f.excl[0].Reset();
+        f.excl[1].Resize(g_.NumRight());
+        f.excl[1].Reset();
+      }
+    }
+    if (twohop_) {
+      const Side side = opts_.anchored_side;
+      const Side other = Opposite(side);
+      if (parent != nullptr) {
+        // Right-shrinking guarantees B ⊆ parent B, so the diff is a pure
+        // removal set and the connection counters update incrementally.
+        assert(sorted::IsSubset(f.h.SideSet(other),
+                                parent->h.SideSet(other)));
+        f.b_removed.clear();
+        std::set_difference(parent->h.SideSet(other).begin(),
+                            parent->h.SideSet(other).end(),
+                            f.h.SideSet(other).begin(),
+                            f.h.SideSet(other).end(),
+                            std::back_inserter(f.b_removed));
+        f.a_removed.clear();
+        std::set_difference(parent->h.SideSet(side).begin(),
+                            parent->h.SideSet(side).end(),
+                            f.h.SideSet(side).begin(),
+                            f.h.SideSet(side).end(),
+                            std::back_inserter(f.a_removed));
+        ApplyBDiff(f.b_removed, /*removed=*/true);
       }
     }
     if (opts_.prune_small) {
@@ -157,7 +266,85 @@ class TraversalEngine::Impl {
         if (n - excluded < theta_anchor) f.recurse = false;
       }
     }
-    return f;
+    return fp;
+  }
+
+  /// Pops the top frame, undoing its connection-counter diff and returning
+  /// it to the arena.
+  void PopFrame(std::vector<std::unique_ptr<Frame>>* stack) {
+    std::unique_ptr<Frame> f = std::move(stack->back());
+    stack->pop_back();
+    if (twohop_) ApplyBDiff(f->b_removed, /*removed=*/false);
+    frame_pool_.Release(std::move(f));
+  }
+
+  /// Initializes conn_[w] = |Γ(w) ∩ B0| for every anchored-side vertex w.
+  void InitConnCounts(const Biplex& h0) {
+    const Side side = opts_.anchored_side;
+    conn_.assign(g_.NumOnSide(side), 0);
+    for (VertexId u : h0.SideSet(Opposite(side))) {
+      for (VertexId w : g_.Neighbors(Opposite(side), u)) ++conn_[w];
+    }
+  }
+
+  /// Applies (or undoes) the removal of non-anchored members `us` to the
+  /// incremental connection counters.
+  void ApplyBDiff(const std::vector<VertexId>& us, bool removed) {
+    const Side other = Opposite(opts_.anchored_side);
+    if (removed) {
+      for (VertexId u : us) {
+        for (VertexId w : g_.Neighbors(other, u)) --conn_[w];
+      }
+    } else {
+      for (VertexId u : us) {
+        for (VertexId w : g_.Neighbors(other, u)) ++conn_[w];
+      }
+    }
+  }
+
+  /// Minimum |Γ(v) ∩ B| a candidate needs to survive the Section 5
+  /// almost-satisfying-graph prune; >= 1 whenever twohop_ holds.
+  size_t MinConn() const {
+    const Side side = opts_.anchored_side;
+    return ThetaOpposite(side) -
+           static_cast<size_t>(opts_.k.ForSide(side));
+  }
+
+  /// Materializes the frame's candidate list: anchored-side vertices with
+  /// enough connections into the frame's non-anchored member set. The
+  /// root derives it from the connection counters directly; descendants
+  /// refine the parent's list (connections only shrink along links) plus
+  /// the members the link removed, which may have become candidates.
+  void GenerateCandidates(Frame* f) {
+    f->cands_ready = true;
+    const size_t min_conn = MinConn();
+    const std::vector<VertexId>& members =
+        f->h.SideSet(opts_.anchored_side);
+    f->cands.clear();
+    if (f->parent == nullptr) {
+      const size_t n = g_.NumOnSide(opts_.anchored_side);
+      for (VertexId v = 0; v < n; ++v) {
+        if (conn_[v] >= min_conn && !sorted::Contains(members, v)) {
+          f->cands.push_back(v);
+        }
+      }
+    } else {
+      for (VertexId v : f->parent->cands) {
+        if (conn_[v] >= min_conn && !sorted::Contains(members, v)) {
+          f->cands.push_back(v);
+        }
+      }
+      // Removed members are disjoint from the parent's candidate list, so
+      // an in-place merge keeps the result sorted.
+      const size_t mid = f->cands.size();
+      for (VertexId v : f->a_removed) {
+        if (conn_[v] >= min_conn) f->cands.push_back(v);
+      }
+      std::inplace_merge(f->cands.begin(),
+                         f->cands.begin() + static_cast<ptrdiff_t>(mid),
+                         f->cands.end());
+    }
+    stats_.candidates_generated += f->cands.size();
   }
 
   /// The sequence of candidate sides for Step 1: the anchored side only
@@ -187,6 +374,7 @@ class TraversalEngine::Impl {
             static_cast<size_t>(opts_.k.ForSide(opts_.anchored_side))) {
       return false;
     }
+    if (twohop_) return NextBatchTwoHop(f);
     while (f->side_phase < NumSidePhases()) {
       const Side side = CandidateSide(f->side_phase);
       const size_t n = g_.NumOnSide(side);
@@ -197,13 +385,18 @@ class TraversalEngine::Impl {
       VertexId v = f->next_cand[SideIndex(side)];
       for (; v < n; ++v) {
         if (sorted::Contains(members, v)) continue;
+        ++stats_.candidates_generated;
         if (opts_.exclusion) {
-          if (f->excl[SideIndex(side)].Test(v)) continue;
+          if (f->excl[SideIndex(side)].Test(v)) {
+            ++stats_.candidates_pruned;
+            continue;
+          }
           // Every local solution of G[H ∪ v] keeps all of v's neighbors
           // inside H (Lemma 4.1), so an excluded neighbor inside H prunes
           // every link of this candidate.
           if (excl_other.size() != 0 &&
               HasExcludedNeighbor(side, v, other_members, excl_other)) {
+            ++stats_.candidates_pruned;
             continue;
           }
         }
@@ -214,12 +407,46 @@ class TraversalEngine::Impl {
         continue;
       }
       f->next_cand[SideIndex(side)] = v + 1;
-      ProcessCandidate(f, side, v);
+      ProcessCandidate(f, side, v, /*prefiltered=*/false);
       f->batch_active = true;
       f->batch_side = side;
       f->batch_v = v;
       return true;
     }
+    return false;
+  }
+
+  /// NextBatch through the materialized 2-hop candidate list (single
+  /// phase: twohop_ implies left-anchored traversal). Exclusion filters
+  /// run at consumption time, exactly when the scan would reach the
+  /// vertex, because the exclusion sets grow while the frame is active.
+  bool NextBatchTwoHop(Frame* f) {
+    if (f->side_phase > 0) return false;
+    const Side side = opts_.anchored_side;
+    if (!f->cands_ready) GenerateCandidates(f);
+    const std::vector<VertexId>& other_members =
+        f->h.SideSet(Opposite(side));
+    const DynamicBitset& excl_other = f->excl[SideIndex(Opposite(side))];
+    while (f->cand_pos < f->cands.size()) {
+      const VertexId v = f->cands[f->cand_pos++];
+      if (opts_.exclusion) {
+        if (f->excl[SideIndex(side)].Test(v)) {
+          ++stats_.candidates_pruned;
+          continue;
+        }
+        if (excl_other.size() != 0 &&
+            HasExcludedNeighbor(side, v, other_members, excl_other)) {
+          ++stats_.candidates_pruned;
+          continue;
+        }
+      }
+      ProcessCandidate(f, side, v, /*prefiltered=*/true);
+      f->batch_active = true;
+      f->batch_side = side;
+      f->batch_v = v;
+      return true;
+    }
+    ++f->side_phase;
     return false;
   }
 
@@ -242,17 +469,21 @@ class TraversalEngine::Impl {
   }
 
   /// Steps 1-3 for a single almost-satisfying graph G[f->h ∪ v].
-  void ProcessCandidate(Frame* f, Side side, VertexId v) {
+  /// `prefiltered` marks candidates from the 2-hop generator, whose
+  /// connection lower bound is already established.
+  void ProcessCandidate(Frame* f, Side side, VertexId v, bool prefiltered) {
     ++stats_.almost_sat_graphs;
     const size_t theta_other = ThetaOpposite(side);
-    if (opts_.prune_small && opts_.right_shrinking && theta_other > 0) {
+    if (!prefiltered && opts_.prune_small && opts_.right_shrinking &&
+        theta_other > 0) {
       // Almost-satisfying-graph pruning: any solution via v keeps at most
       // δ(v, other) + k vertices of the other side (Section 5).
-      const size_t conn =
-          g_.ConnCount(side, v, f->h.SideSet(Opposite(side)));
+      const size_t conn = AcceleratedConnCount(
+          accel_, g_, side, v, f->h.SideSet(Opposite(side)));
       // v itself tolerates at most k(side) disconnections, bounding the
       // other side of any solution through this almost-satisfying graph.
       if (conn + static_cast<size_t>(opts_.k.ForSide(side)) < theta_other) {
+        ++stats_.candidates_pruned;
         return;
       }
     }
@@ -311,6 +542,8 @@ class TraversalEngine::Impl {
     if (opts_.local_impl == LocalEnumImpl::kDirect) {
       EnumAlmostSatOptions lopts = opts_.local;
       lopts.deadline = deadline_;
+      lopts.adjacency = accel_;
+      lopts.workspace = &local_ws_;
       if (opts_.exclusion) {
         lopts.excluded_anchored = &f->excl[SideIndex(side)];
       }
@@ -366,6 +599,16 @@ class TraversalEngine::Impl {
   std::unique_ptr<SolutionStore> store_;
   const Deadline* deadline_ = nullptr;
   bool stop_ = false;
+
+  // Acceleration state: the hybrid adjacency index (attached, engine-
+  // owned, or null), the frame arena, the shared EnumAlmostSat workspace,
+  // and the incremental |Γ(w) ∩ B| counters of the 2-hop generator.
+  const AdjacencyIndex* accel_ = nullptr;
+  std::unique_ptr<AdjacencyIndex> owned_accel_;
+  ArenaPool<Frame> frame_pool_;
+  EnumAlmostSatWorkspace local_ws_;
+  bool twohop_ = false;
+  std::vector<uint32_t> conn_;
 
   friend class TraversalEngine;
 };

@@ -22,6 +22,8 @@ LargeMbpStats EnumerateLargeMbps(const BipartiteGraph& g,
   topts.max_results = opts.max_results;
   topts.time_budget_seconds = opts.time_budget_seconds;
   topts.cancel = opts.cancel;
+  topts.candidate_gen = opts.candidate_gen;
+  topts.adjacency_accel = opts.adjacency_accel;
 
   if (!opts.core_reduction) {
     stats.core_left = g.NumLeft();

@@ -27,6 +27,12 @@ struct LargeMbpOptions {
   /// Optional cooperative cancellation, forwarded to the traversal engine;
   /// not owned, may be null.
   const CancellationToken* cancel = nullptr;
+  /// Hot-path acceleration knobs, forwarded to the traversal engine (see
+  /// traversal_options.h). Large-MBP runs satisfy the 2-hop equivalence
+  /// gate whenever theta exceeds the budget on the opposite side, so
+  /// kAuto typically engages the candidate generator here.
+  CandidateGenMode candidate_gen = CandidateGenMode::kAuto;
+  AdjacencyAccelMode adjacency_accel = AdjacencyAccelMode::kAuto;
 };
 
 /// Result counters of a large-MBP run.

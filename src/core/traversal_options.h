@@ -7,6 +7,7 @@
 #ifndef KBIPLEX_CORE_TRAVERSAL_OPTIONS_H_
 #define KBIPLEX_CORE_TRAVERSAL_OPTIONS_H_
 
+#include <cstddef>
 #include <cstdint>
 
 #include "core/enum_almost_sat.h"
@@ -21,6 +22,40 @@ enum class LocalEnumImpl : uint8_t {
   kDirect,     // Algorithm 3 (Section 4), variant chosen by `local`
   kInflation,  // graph inflation + maximal (k+1)-plex enumeration
 };
+
+/// Step-1 candidate generation strategy.
+enum class CandidateGenMode : uint8_t {
+  /// Engage the incrementally maintained 2-hop candidate generator
+  /// whenever it is provably equivalent to the full scan (left-anchored +
+  /// right-shrinking + prune_small with theta_other > k: the Section 5
+  /// almost-satisfying-graph prune then discards every candidate the
+  /// generator skips, and right-shrinking makes the subtree prune sound).
+  kAuto,
+  /// Always use the seed behavior: scan every vertex of the side.
+  kScan,
+  /// Request the 2-hop generator; falls back to the scan for
+  /// configurations where it is not equivalence-preserving.
+  kTwoHop,
+};
+
+/// Hybrid bitset-adjacency acceleration of the engine's hot paths.
+enum class AdjacencyAccelMode : uint8_t {
+  /// Use the graph's attached index when present; otherwise build an
+  /// engine-local one for graphs with >= kAutoIndexMinEdges edges.
+  kAuto,
+  /// Do not build an engine-local index. Note this is not a total kill
+  /// switch: an index already attached to the graph
+  /// (BipartiteGraph::BuildAdjacencyIndex) still serves the graph-level
+  /// primitives (IsAdjacent, ConnCount) that every engine shares. The
+  /// true seed baseline is a graph without an attached index plus kOff.
+  kOff,
+  /// Use the attached index or build an engine-local one unconditionally.
+  kForce,
+};
+
+/// Edge count from which AdjacencyAccelMode::kAuto builds an engine-local
+/// index when the graph has none attached.
+inline constexpr size_t kAutoIndexMinEdges = 4096;
 
 /// Options of one traversal run.
 struct TraversalOptions {
@@ -86,6 +121,14 @@ struct TraversalOptions {
   /// Backend of the solution store.
   StoreBackend store_backend = StoreBackend::kBTree;
 
+  /// Step-1 candidate generation strategy (see CandidateGenMode). Every
+  /// mode yields the exact same solution set; only the work differs.
+  CandidateGenMode candidate_gen = CandidateGenMode::kAuto;
+
+  /// Bitset-adjacency acceleration (see AdjacencyAccelMode). Exact-result
+  /// preserving in every mode.
+  AdjacencyAccelMode adjacency_accel = AdjacencyAccelMode::kAuto;
+
   /// Uno's alternating-output trick: emit a solution before the recursive
   /// expansion at even DFS depth and after it at odd depth, which bounds
   /// the delay by one iThreeStep invocation (polynomial). When false,
@@ -103,6 +146,8 @@ struct TraversalStats {
   uint64_t almost_sat_graphs = 0;  // Step-1 graphs formed
   uint64_t local_solutions = 0;    // Step-2 local solutions enumerated
   uint64_t dedup_hits = 0;         // links to already-known solutions
+  uint64_t candidates_generated = 0;  // Step-1 candidates considered
+  uint64_t candidates_pruned = 0;     // skipped before EnumAlmostSat
   EnumAlmostSatStats local_stats;  // Algorithm 3 work counters
   bool completed = true;  // false iff stopped by a budget or callback
   double seconds = 0;

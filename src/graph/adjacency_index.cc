@@ -1,0 +1,70 @@
+#include "graph/adjacency_index.h"
+
+#include <algorithm>
+
+#include "graph/bipartite_graph.h"
+
+namespace kbiplex {
+namespace {
+
+constexpr size_t kWordBits = 64;
+
+size_t WordsFor(size_t bits) { return (bits + kWordBits - 1) / kWordBits; }
+
+}  // namespace
+
+AdjacencyIndex::AdjacencyIndex(const BipartiteGraph& g, size_t min_degree) {
+  if (min_degree == kAutoThreshold) {
+    // Index vertices of above-average degree: they are the ones whose
+    // binary searches are deepest and the ones most frequently probed.
+    const size_t n = g.NumVertices();
+    const size_t avg = n == 0 ? 0 : (2 * g.NumEdges()) / n;
+    min_degree = std::max(kMinAutoDegree, avg);
+  }
+  min_degree_ = min_degree;
+
+  const size_t row_words[2] = {WordsFor(g.NumRight()), WordsFor(g.NumLeft())};
+  row_start_[0].assign(g.NumLeft(), kNoRow);
+  row_start_[1].assign(g.NumRight(), kNoRow);
+  size_t total_words = 0;
+  for (VertexId v = 0; v < g.NumLeft(); ++v) {
+    if (g.LeftDegree(v) >= min_degree) {
+      row_start_[0][v] = total_words;
+      total_words += row_words[0];
+      ++num_rows_[0];
+    }
+  }
+  for (VertexId u = 0; u < g.NumRight(); ++u) {
+    if (g.RightDegree(u) >= min_degree) {
+      row_start_[1][u] = total_words;
+      total_words += row_words[1];
+      ++num_rows_[1];
+    }
+  }
+  words_.assign(total_words, 0);
+  for (VertexId v = 0; v < g.NumLeft(); ++v) {
+    if (row_start_[0][v] == kNoRow) continue;
+    uint64_t* row = words_.data() + row_start_[0][v];
+    for (VertexId r : g.LeftNeighbors(v)) {
+      row[static_cast<size_t>(r) >> 6] |= 1ULL << (r & 63);
+    }
+  }
+  for (VertexId u = 0; u < g.NumRight(); ++u) {
+    if (row_start_[1][u] == kNoRow) continue;
+    uint64_t* row = words_.data() + row_start_[1][u];
+    for (VertexId l : g.RightNeighbors(u)) {
+      row[static_cast<size_t>(l) >> 6] |= 1ULL << (l & 63);
+    }
+  }
+}
+
+size_t AcceleratedConnCount(const AdjacencyIndex* index,
+                            const BipartiteGraph& g, Side side, VertexId v,
+                            const std::vector<VertexId>& subset) {
+  if (index != nullptr && index->HasRow(side, v)) {
+    return index->RowConnCount(side, v, subset);
+  }
+  return g.ConnCount(side, v, subset);
+}
+
+}  // namespace kbiplex

@@ -1,0 +1,108 @@
+// Hybrid adjacency acceleration structure: per-vertex bitset rows for
+// high-degree vertices (O(1) membership tests) while low-degree vertices
+// keep using the graph's sorted CSR spans (O(log d) binary search). The
+// enumeration hot paths issue millions of adjacency tests per second; on
+// dense graphs the binary searches dominate the profile, and a bitset row
+// over the opposite side turns each test into one shift and mask.
+//
+// Rows are only built for vertices whose degree reaches a threshold, so
+// the structure costs O(dense_vertices * opposite_side / 64) words instead
+// of a full |L| x |R| matrix. The index is immutable after construction
+// and safe to share across threads.
+#ifndef KBIPLEX_GRAPH_ADJACENCY_INDEX_H_
+#define KBIPLEX_GRAPH_ADJACENCY_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/common.h"
+
+namespace kbiplex {
+
+class BipartiteGraph;
+
+/// Bitset rows over the opposite side for the dense vertices of a graph.
+class AdjacencyIndex {
+ public:
+  /// Sentinel threshold: pick the threshold automatically (at least
+  /// kMinAutoDegree, at least the average degree of the graph).
+  static constexpr size_t kAutoThreshold = 0;
+
+  /// Minimum degree the auto heuristic ever uses: below this a binary
+  /// search over the adjacency list is already cheap.
+  static constexpr size_t kMinAutoDegree = 16;
+
+  /// Builds rows for every vertex with degree >= `min_degree` on either
+  /// side. `min_degree` = kAutoThreshold selects a heuristic threshold.
+  explicit AdjacencyIndex(const BipartiteGraph& g,
+                          size_t min_degree = kAutoThreshold);
+
+  /// True iff vertex `v` of side `side` has a bitset row.
+  bool HasRow(Side side, VertexId v) const {
+    const auto& starts = row_start_[SideIndex(side)];
+    return v < starts.size() && starts[v] != kNoRow;
+  }
+
+  /// Adjacency test through the row of `v` (side `side`) against vertex
+  /// `u` of the opposite side. Requires HasRow(side, v).
+  bool TestRow(Side side, VertexId v, VertexId u) const {
+    const size_t i = SideIndex(side);
+    const uint64_t word =
+        words_[row_start_[i][v] + (static_cast<size_t>(u) >> 6)];
+    return (word >> (u & 63)) & 1ULL;
+  }
+
+  /// Number of vertices of `subset` (sorted ids of the opposite side)
+  /// adjacent to `v`. Requires HasRow(side, v); O(|subset|).
+  size_t RowConnCount(Side side, VertexId v,
+                      const std::vector<VertexId>& subset) const {
+    size_t n = 0;
+    const size_t i = SideIndex(side);
+    const uint64_t* row = words_.data() + row_start_[i][v];
+    for (VertexId u : subset) {
+      n += (row[static_cast<size_t>(u) >> 6] >> (u & 63)) & 1ULL;
+    }
+    return n;
+  }
+
+  /// The threshold actually used (resolved from kAutoThreshold).
+  size_t min_degree() const { return min_degree_; }
+
+  /// Rows built on a side.
+  size_t NumRows(Side side) const { return num_rows_[SideIndex(side)]; }
+
+  /// Bytes held by the row pool.
+  size_t MemoryBytes() const { return words_.size() * sizeof(uint64_t); }
+
+ private:
+  static constexpr size_t kNoRow = static_cast<size_t>(-1);
+
+  static size_t SideIndex(Side s) { return s == Side::kLeft ? 0 : 1; }
+
+  size_t min_degree_ = 0;
+  size_t num_rows_[2] = {0, 0};
+  // Word offset of v's row in `words_`, or kNoRow. Rows on side s span
+  // ceil(|opposite side|/64) words.
+  std::vector<size_t> row_start_[2];
+  std::vector<uint64_t> words_;
+};
+
+/// δ(v, subset) through `index` when it has a row for `v`, falling back to
+/// the graph's merge/binary-search counting otherwise. `index` may be null.
+size_t AcceleratedConnCount(const AdjacencyIndex* index,
+                            const BipartiteGraph& g, Side side, VertexId v,
+                            const std::vector<VertexId>& subset);
+
+/// Adjacency test between `v` (side `side`) and `u` (opposite side)
+/// through the rows of `index` when either endpoint has one, falling back
+/// to the graph's CSR binary search. `index` may be null. The single
+/// dispatch every accelerated edge test goes through (defined inline in
+/// bipartite_graph.h, which every caller includes).
+bool AcceleratedIsAdjacent(const AdjacencyIndex* index,
+                           const BipartiteGraph& g, Side side, VertexId v,
+                           VertexId u);
+
+}  // namespace kbiplex
+
+#endif  // KBIPLEX_GRAPH_ADJACENCY_INDEX_H_

@@ -6,10 +6,12 @@
 #define KBIPLEX_GRAPH_BIPARTITE_GRAPH_H_
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "graph/adjacency_index.h"
 #include "util/common.h"
 
 namespace kbiplex {
@@ -70,6 +72,31 @@ class BipartiteGraph {
   /// True iff the edge (l, r) exists.
   bool HasEdge(VertexId l, VertexId r) const;
 
+  /// Adjacency test between `v` on side `side` and `u` on the opposite
+  /// side. This is the single fast path every enumeration kernel goes
+  /// through: when an adjacency index is attached (BuildAdjacencyIndex)
+  /// and either endpoint has a bitset row the test is O(1); otherwise it
+  /// falls back to a binary search over the shorter adjacency list,
+  /// exactly like HasEdge.
+  bool IsAdjacent(Side side, VertexId v, VertexId u) const {
+    return AcceleratedIsAdjacent(accel_.get(), *this, side, v, u);
+  }
+
+  /// Builds and attaches the hybrid adjacency acceleration structure
+  /// (bitset rows for vertices with degree >= `min_degree`; see
+  /// adjacency_index.h). Idempotent for a fixed threshold; rebuilding with
+  /// a different threshold replaces the index. The index is shared by
+  /// copies made afterwards and is read-only, so attaching it before
+  /// fanning a graph out to worker threads is safe.
+  void BuildAdjacencyIndex(
+      size_t min_degree = AdjacencyIndex::kAutoThreshold);
+
+  /// Detaches the acceleration structure (tests fall back to CSR search).
+  void DropAdjacencyIndex() { accel_.reset(); }
+
+  /// The attached acceleration structure, or null.
+  const AdjacencyIndex* adjacency_index() const { return accel_.get(); }
+
   /// Edge density as defined by the paper: |E| / (|L| + |R|).
   double EdgeDensity() const {
     size_t n = NumVertices();
@@ -100,7 +127,21 @@ class BipartiteGraph {
   std::vector<VertexId> left_neighbors_;
   std::vector<size_t> right_offsets_;
   std::vector<VertexId> right_neighbors_;
+  // Optional hybrid acceleration structure; shared (read-only) between
+  // copies so that copying an indexed graph stays cheap.
+  std::shared_ptr<const AdjacencyIndex> accel_;
 };
+
+inline bool AcceleratedIsAdjacent(const AdjacencyIndex* index,
+                                  const BipartiteGraph& g, Side side,
+                                  VertexId v, VertexId u) {
+  if (index != nullptr) {
+    if (index->HasRow(side, v)) return index->TestRow(side, v, u);
+    const Side other = Opposite(side);
+    if (index->HasRow(other, u)) return index->TestRow(other, u, v);
+  }
+  return side == Side::kLeft ? g.HasEdge(v, u) : g.HasEdge(u, v);
+}
 
 /// An induced bipartite subgraph materialized with compacted ids, plus the
 /// maps from compact ids back to the parent graph's ids.

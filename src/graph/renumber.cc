@@ -1,0 +1,132 @@
+#include "graph/renumber.h"
+
+#include <algorithm>
+
+namespace kbiplex {
+namespace {
+
+/// One entry of the joint peeling arena: (side, id) flattened so both
+/// sides share the bucket queue.
+struct PeelVertex {
+  Side side;
+  VertexId id;
+};
+
+}  // namespace
+
+VertexSetPair RenumberedGraph::MapBack(
+    const std::vector<VertexId>& left,
+    const std::vector<VertexId>& right) const {
+  VertexSetPair out;
+  out.left.reserve(left.size());
+  out.right.reserve(right.size());
+  for (VertexId v : left) out.left.push_back(left_to_old[v]);
+  for (VertexId u : right) out.right.push_back(right_to_old[u]);
+  std::sort(out.left.begin(), out.left.end());
+  std::sort(out.right.begin(), out.right.end());
+  return out;
+}
+
+RenumberedGraph RenumberByDegeneracy(const BipartiteGraph& g) {
+  const size_t nl = g.NumLeft();
+  const size_t nr = g.NumRight();
+  const size_t n = nl + nr;
+
+  // Bucket-queue peeling over both sides jointly (the (α,β)-core peeling
+  // of core_decomposition, run to exhaustion with degree buckets instead
+  // of fixed thresholds). flat id: [0, nl) left, [nl, nl+nr) right.
+  std::vector<size_t> deg(n);
+  size_t max_deg = 0;
+  for (VertexId v = 0; v < nl; ++v) {
+    deg[v] = g.LeftDegree(v);
+    max_deg = std::max(max_deg, deg[v]);
+  }
+  for (VertexId u = 0; u < nr; ++u) {
+    deg[nl + u] = g.RightDegree(u);
+    max_deg = std::max(max_deg, deg[nl + u]);
+  }
+  // Counting-sort layout (Batagelj–Zaveršnik): `order` holds the vertices
+  // bucketed by residual degree, `bin[d]` the start of bucket d.
+  std::vector<size_t> bin(max_deg + 1, 0);
+  for (size_t i = 0; i < n; ++i) ++bin[deg[i]];
+  {
+    size_t start = 0;
+    for (size_t d = 0; d <= max_deg; ++d) {
+      const size_t count = bin[d];
+      bin[d] = start;
+      start += count;
+    }
+  }
+  std::vector<size_t> pos(n);    // flat id -> index in order
+  std::vector<size_t> order(n);  // peeling arena, sorted by degree
+  for (size_t i = 0; i < n; ++i) {
+    pos[i] = bin[deg[i]]++;
+    order[pos[i]] = i;
+  }
+  for (size_t d = max_deg; d >= 1; --d) bin[d] = bin[d - 1];
+  bin[0] = 0;
+
+  // Min-degree peeling: order[i] always has minimal residual degree among
+  // the unpeeled vertices. A neighbor still ahead of the scan (guarded by
+  // deg[u] > deg[v]) moves to the front of its bucket and drops a degree.
+  auto decrease = [&](size_t u) {
+    const size_t du = deg[u];
+    const size_t front = bin[du];
+    const size_t w = order[front];
+    if (u != w) {
+      std::swap(order[front], order[pos[u]]);
+      std::swap(pos[u], pos[w]);
+    }
+    ++bin[du];
+    --deg[u];
+  };
+  for (size_t i = 0; i < n; ++i) {
+    const size_t flat = order[i];
+    if (flat < nl) {
+      for (VertexId u : g.LeftNeighbors(static_cast<VertexId>(flat))) {
+        if (deg[nl + u] > deg[flat]) decrease(nl + u);
+      }
+    } else {
+      for (VertexId w :
+           g.RightNeighbors(static_cast<VertexId>(flat - nl))) {
+        if (deg[w] > deg[flat]) decrease(w);
+      }
+    }
+  }
+  const std::vector<size_t>& peel = order;  // flat ids in removal order
+
+  // Reverse peel order = degeneracy order: densest-core vertices first.
+  RenumberedGraph out;
+  out.left_to_old.reserve(nl);
+  out.right_to_old.reserve(nr);
+  for (auto it = peel.rbegin(); it != peel.rend(); ++it) {
+    if (*it < nl) {
+      out.left_to_old.push_back(static_cast<VertexId>(*it));
+    } else {
+      out.right_to_old.push_back(static_cast<VertexId>(*it - nl));
+    }
+  }
+  out.old_to_new_left.resize(nl);
+  out.old_to_new_right.resize(nr);
+  for (size_t i = 0; i < nl; ++i) {
+    out.old_to_new_left[out.left_to_old[i]] = static_cast<VertexId>(i);
+  }
+  for (size_t i = 0; i < nr; ++i) {
+    out.old_to_new_right[out.right_to_old[i]] = static_cast<VertexId>(i);
+  }
+
+  std::vector<BipartiteGraph::Edge> edges;
+  edges.reserve(g.NumEdges());
+  for (VertexId v = 0; v < nl; ++v) {
+    for (VertexId r : g.LeftNeighbors(v)) {
+      edges.emplace_back(out.old_to_new_left[v], out.old_to_new_right[r]);
+    }
+  }
+  out.graph = BipartiteGraph::FromEdges(nl, nr, std::move(edges));
+  if (g.adjacency_index() != nullptr) {
+    out.graph.BuildAdjacencyIndex(g.adjacency_index()->min_degree());
+  }
+  return out;
+}
+
+}  // namespace kbiplex

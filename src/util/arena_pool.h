@@ -1,0 +1,60 @@
+// A freelist object pool for hot recursion frames. The traversal engines
+// push and pop thousands of frames per second; each frame owns several
+// vectors and bitsets, so allocating a fresh frame per recursion step
+// churns the allocator. The pool recycles released objects: a recycled
+// object keeps its heap buffers (vector capacity, bitset words), so steady
+// state recursion allocates nothing.
+//
+// Objects must provide `void Reset()` restoring logical emptiness while
+// keeping capacity (e.g. vector::clear). Acquire() calls it on recycled
+// objects; freshly constructed objects are handed out as built.
+#ifndef KBIPLEX_UTIL_ARENA_POOL_H_
+#define KBIPLEX_UTIL_ARENA_POOL_H_
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace kbiplex {
+
+template <typename T>
+class ArenaPool {
+ public:
+  /// A pooled object, or a fresh default-constructed one when the
+  /// freelist is empty. Recycled objects are Reset() before hand-out.
+  std::unique_ptr<T> Acquire() {
+    if (free_.empty()) {
+      ++allocated_;
+      return std::make_unique<T>();
+    }
+    std::unique_ptr<T> obj = std::move(free_.back());
+    free_.pop_back();
+    ++reused_;
+    obj->Reset();
+    return obj;
+  }
+
+  /// Returns an object to the freelist. Its buffers stay allocated.
+  void Release(std::unique_ptr<T> obj) {
+    if (obj != nullptr) free_.push_back(std::move(obj));
+  }
+
+  /// Objects constructed because the freelist was empty.
+  size_t allocated() const { return allocated_; }
+
+  /// Acquire() calls served from the freelist.
+  size_t reused() const { return reused_; }
+
+  /// Objects currently parked in the freelist.
+  size_t free_size() const { return free_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<T>> free_;
+  size_t allocated_ = 0;
+  size_t reused_ = 0;
+};
+
+}  // namespace kbiplex
+
+#endif  // KBIPLEX_UTIL_ARENA_POOL_H_

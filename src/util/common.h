@@ -29,8 +29,19 @@ inline Side Opposite(Side s) {
 /// sorted ascending and duplicate-free; outputs preserve that invariant.
 namespace sorted {
 
+/// Below this size a predictable early-exit linear pass beats the
+/// branch-mispredicting binary search. Member sets in the enumeration
+/// recursion are mostly tiny, so this is the common case.
+inline constexpr size_t kLinearScanMax = 16;
+
 /// True iff `x` occurs in sorted vector `v`.
 inline bool Contains(const std::vector<VertexId>& v, VertexId x) {
+  if (v.size() <= kLinearScanMax) {
+    for (VertexId y : v) {
+      if (y >= x) return y == x;
+    }
+    return false;
+  }
   return std::binary_search(v.begin(), v.end(), x);
 }
 

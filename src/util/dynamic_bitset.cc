@@ -74,7 +74,7 @@ DynamicBitset& DynamicBitset::operator-=(const DynamicBitset& other) {
   return *this;
 }
 
-size_t DynamicBitset::FindNext(size_t from) const {
+size_t DynamicBitset::FindNextSet(size_t from) const {
   if (from >= size_) return size_;
   size_t wi = from >> 6;
   uint64_t w = words_[wi] & (~0ULL << (from & 63));
@@ -89,10 +89,16 @@ size_t DynamicBitset::FindNext(size_t from) const {
   }
 }
 
-void DynamicBitset::AppendSetBits(std::vector<uint32_t>* out) const {
-  for (size_t i = FindNext(0); i < size_; i = FindNext(i + 1)) {
-    out->push_back(static_cast<uint32_t>(i));
+size_t DynamicBitset::IntersectCount(const DynamicBitset& other) const {
+  size_t n = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    n += static_cast<size_t>(std::popcount(words_[i] & other.words_[i]));
   }
+  return n;
+}
+
+void DynamicBitset::AppendSetBits(std::vector<uint32_t>* out) const {
+  ForEachSet([out](size_t i) { out->push_back(static_cast<uint32_t>(i)); });
 }
 
 }  // namespace kbiplex

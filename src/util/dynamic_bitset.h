@@ -3,6 +3,7 @@
 #ifndef KBIPLEX_UTIL_DYNAMIC_BITSET_H_
 #define KBIPLEX_UTIL_DYNAMIC_BITSET_H_
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -73,7 +74,29 @@ class DynamicBitset {
   }
 
   /// Index of the first set bit at or after `from`, or `size()` if none.
-  size_t FindNext(size_t from) const;
+  /// Word-level: skips clear words eight bytes at a time.
+  size_t FindNextSet(size_t from) const;
+
+  /// Deprecated alias of FindNextSet.
+  size_t FindNext(size_t from) const { return FindNextSet(from); }
+
+  /// Number of bits set in both *this and `other` (popcount of the
+  /// intersection, without materializing it). Requires identical sizes.
+  size_t IntersectCount(const DynamicBitset& other) const;
+
+  /// Invokes `fn(size_t index)` for every set bit in ascending order.
+  /// Word-level: one countr_zero per set bit, no per-clear-bit work.
+  template <typename Fn>
+  void ForEachSet(Fn&& fn) const {
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi];
+      while (w != 0) {
+        const uint64_t bit = w & (~w + 1);  // lowest set bit
+        fn((wi << 6) + static_cast<size_t>(std::countr_zero(w)));
+        w ^= bit;
+      }
+    }
+  }
 
   /// Appends the indices of all set bits to `out`.
   void AppendSetBits(std::vector<uint32_t>* out) const;

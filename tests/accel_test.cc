@@ -1,0 +1,345 @@
+// Tests of the hot-path acceleration stack: the hybrid bitset adjacency
+// index, the degeneracy renumbering pass, the 2-hop candidate generator,
+// the EnumAlmostSat workspace — and, the load-bearing property, that every
+// registered algorithm delivers exactly the seed solution set with
+// acceleration enabled, sequentially and under --threads > 1.
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/enumerator.h"
+#include "core/btraversal.h"
+#include "core/enum_almost_sat.h"
+#include "graph/adjacency_index.h"
+#include "graph/renumber.h"
+#include "test_support.h"
+
+namespace kbiplex {
+namespace {
+
+using testing_support::MakeGraph;
+using testing_support::MakeRandomGraph;
+using testing_support::RandomGraphCase;
+using testing_support::ToString;
+
+// ------------------------------------------------------- adjacency index --
+
+TEST(AdjacencyIndex, AgreesWithCsrOnEveryPair) {
+  for (const RandomGraphCase& c :
+       {RandomGraphCase{7, 9, 0.4, 21}, RandomGraphCase{12, 5, 0.7, 22},
+        RandomGraphCase{10, 10, 0.15, 23}}) {
+    BipartiteGraph g = MakeRandomGraph(c);
+    // min_degree = 1: every non-isolated vertex gets a row.
+    AdjacencyIndex index(g, 1);
+    for (VertexId l = 0; l < g.NumLeft(); ++l) {
+      for (VertexId r = 0; r < g.NumRight(); ++r) {
+        const bool expect = g.HasEdge(l, r);
+        if (index.HasRow(Side::kLeft, l)) {
+          EXPECT_EQ(index.TestRow(Side::kLeft, l, r), expect);
+        }
+        if (index.HasRow(Side::kRight, r)) {
+          EXPECT_EQ(index.TestRow(Side::kRight, r, l), expect);
+        }
+      }
+    }
+  }
+}
+
+TEST(AdjacencyIndex, AttachedIndexKeepsIsAdjacentExact) {
+  BipartiteGraph plain = MakeRandomGraph({11, 8, 0.5, 24});
+  BipartiteGraph indexed = plain;
+  indexed.BuildAdjacencyIndex(/*min_degree=*/1);
+  ASSERT_NE(indexed.adjacency_index(), nullptr);
+  EXPECT_EQ(plain.adjacency_index(), nullptr);
+  for (VertexId l = 0; l < plain.NumLeft(); ++l) {
+    for (VertexId r = 0; r < plain.NumRight(); ++r) {
+      EXPECT_EQ(indexed.IsAdjacent(Side::kLeft, l, r),
+                plain.IsAdjacent(Side::kLeft, l, r));
+      EXPECT_EQ(indexed.IsAdjacent(Side::kRight, r, l),
+                plain.IsAdjacent(Side::kRight, r, l));
+    }
+  }
+}
+
+TEST(AdjacencyIndex, RowConnCountMatchesConnCount) {
+  BipartiteGraph g = MakeRandomGraph({9, 13, 0.45, 25});
+  AdjacencyIndex index(g, 1);
+  const std::vector<VertexId> subset = {0, 2, 3, 7, 11};
+  for (VertexId l = 0; l < g.NumLeft(); ++l) {
+    if (!index.HasRow(Side::kLeft, l)) continue;
+    EXPECT_EQ(index.RowConnCount(Side::kLeft, l, subset),
+              g.ConnCount(Side::kLeft, l, subset));
+  }
+  EXPECT_EQ(AcceleratedConnCount(&index, g, Side::kLeft, 0, subset),
+            g.ConnCount(Side::kLeft, 0, subset));
+  EXPECT_EQ(AcceleratedConnCount(nullptr, g, Side::kLeft, 0, subset),
+            g.ConnCount(Side::kLeft, 0, subset));
+}
+
+TEST(AdjacencyIndex, AutoThresholdSkipsSparseVertices) {
+  // 3-regular-ish graph: auto threshold is at least kMinAutoDegree = 16,
+  // so no rows are built.
+  BipartiteGraph g = MakeRandomGraph({20, 20, 0.12, 26});
+  AdjacencyIndex index(g);
+  EXPECT_GE(index.min_degree(), AdjacencyIndex::kMinAutoDegree);
+  EXPECT_EQ(index.NumRows(Side::kLeft), 0u);
+  EXPECT_EQ(index.NumRows(Side::kRight), 0u);
+}
+
+TEST(AdjacencyIndex, InduceAndTransposePropagateTheIndex) {
+  BipartiteGraph g = MakeRandomGraph({10, 10, 0.5, 27});
+  g.BuildAdjacencyIndex(1);
+  InducedSubgraph sub = Induce(g, {0, 1, 2, 5}, {1, 3, 4, 8});
+  ASSERT_NE(sub.graph.adjacency_index(), nullptr);
+  for (VertexId l = 0; l < sub.graph.NumLeft(); ++l) {
+    for (VertexId r = 0; r < sub.graph.NumRight(); ++r) {
+      EXPECT_EQ(sub.graph.IsAdjacent(Side::kLeft, l, r),
+                g.HasEdge(sub.left_map[l], sub.right_map[r]));
+    }
+  }
+  BipartiteGraph t = g.Transposed();
+  ASSERT_NE(t.adjacency_index(), nullptr);
+  for (VertexId l = 0; l < t.NumLeft(); ++l) {
+    for (VertexId r = 0; r < t.NumRight(); ++r) {
+      EXPECT_EQ(t.IsAdjacent(Side::kLeft, l, r), g.HasEdge(r, l));
+    }
+  }
+}
+
+// ------------------------------------------------------------- renumber --
+
+TEST(Renumber, MapsArePermutationsAndEdgesSurvive) {
+  BipartiteGraph g = MakeRandomGraph({14, 9, 0.3, 31});
+  RenumberedGraph r = RenumberByDegeneracy(g);
+  ASSERT_EQ(r.graph.NumLeft(), g.NumLeft());
+  ASSERT_EQ(r.graph.NumRight(), g.NumRight());
+  ASSERT_EQ(r.graph.NumEdges(), g.NumEdges());
+  std::set<VertexId> seen_left(r.left_to_old.begin(), r.left_to_old.end());
+  std::set<VertexId> seen_right(r.right_to_old.begin(),
+                                r.right_to_old.end());
+  EXPECT_EQ(seen_left.size(), g.NumLeft());
+  EXPECT_EQ(seen_right.size(), g.NumRight());
+  for (VertexId v = 0; v < g.NumLeft(); ++v) {
+    EXPECT_EQ(r.old_to_new_left[r.left_to_old[v]], v);
+  }
+  // Every renumbered edge maps back to an original edge and vice versa.
+  for (VertexId l = 0; l < r.graph.NumLeft(); ++l) {
+    for (VertexId rr : r.graph.LeftNeighbors(l)) {
+      EXPECT_TRUE(g.HasEdge(r.left_to_old[l], r.right_to_old[rr]));
+    }
+  }
+}
+
+TEST(Renumber, DenseVerticesClusterAtLowIds) {
+  // A star-heavy graph: left 0 connects to everything, the rest are
+  // pendant. The hub must land in the first position of the new order.
+  std::vector<BipartiteGraph::Edge> edges;
+  for (VertexId r = 0; r < 8; ++r) edges.push_back({0, r});
+  edges.push_back({1, 0});
+  edges.push_back({2, 1});
+  BipartiteGraph g = MakeGraph(6, 8, std::move(edges));
+  RenumberedGraph r = RenumberByDegeneracy(g);
+  EXPECT_EQ(r.left_to_old[0], 0u);  // the hub gets the smallest id
+}
+
+TEST(Renumber, EnumerationAgreesAfterMapBack) {
+  for (const RandomGraphCase& c :
+       {RandomGraphCase{7, 7, 0.5, 32}, RandomGraphCase{9, 6, 0.35, 33}}) {
+    BipartiteGraph g = MakeRandomGraph(c);
+    RenumberedGraph r = RenumberByDegeneracy(g);
+    for (int k : {1, 2}) {
+      EnumerateRequest req;
+      req.algorithm = "itraversal";
+      req.k = KPair::Uniform(k);
+      std::vector<Biplex> direct = Enumerator(g).Collect(req);
+      std::vector<Biplex> renumbered = Enumerator(r.graph).Collect(req);
+      std::vector<Biplex> mapped;
+      for (const Biplex& b : renumbered) {
+        VertexSetPair p = r.MapBack(b.left, b.right);
+        mapped.push_back(Biplex{std::move(p.left), std::move(p.right)});
+      }
+      std::sort(mapped.begin(), mapped.end());
+      EXPECT_EQ(mapped, direct) << "k=" << k;
+    }
+  }
+}
+
+// ------------------------------------------- acceleration == seed, all 8 --
+
+struct AccelCase {
+  KPair k;
+  size_t theta_left;
+  size_t theta_right;
+};
+
+/// Every algorithm, every acceleration surface: the indexed graph plus
+/// (for the traversal family) the forced 2-hop generator must reproduce
+/// the seed path exactly — the analogue of the parallel agreement suite.
+TEST(AccelAgreement, EveryAlgorithmMatchesSeedSolutionSet) {
+  std::vector<BipartiteGraph> graphs;
+  graphs.push_back(MakeRandomGraph({6, 6, 0.5, 34}));
+  graphs.push_back(MakeRandomGraph({8, 5, 0.65, 35}));
+  graphs.push_back(MakeRandomGraph({7, 9, 0.3, 36}));
+
+  const std::vector<AccelCase> cases = {
+      {KPair::Uniform(1), 0, 0},
+      {KPair::Uniform(1), 2, 2},  // 2-hop gate engaged (theta > k)
+      {KPair::Uniform(2), 0, 0},
+      {KPair::Uniform(2), 3, 3},
+      {KPair{1, 2}, 2, 2},  // asymmetric, traversal family only
+  };
+  const AlgorithmRegistry& registry = AlgorithmRegistry::Global();
+  for (size_t gi = 0; gi < graphs.size(); ++gi) {
+    const BipartiteGraph& plain = graphs[gi];
+    BipartiteGraph indexed = plain;
+    indexed.BuildAdjacencyIndex(/*min_degree=*/1);
+    for (const AccelCase& c : cases) {
+      for (const std::string& name : registry.Names()) {
+        AlgorithmInfo info = *registry.Find(name);
+        if (!info.supports_asymmetric_k && !c.k.IsUniform()) continue;
+        if (info.requires_theta &&
+            (c.theta_left < 1 || c.theta_right < 1)) {
+          continue;
+        }
+        const bool traversal_family =
+            name.find("traversal") != std::string::npos ||
+            name == "large-mbp";
+
+        EnumerateRequest seed_req;
+        seed_req.algorithm = name;
+        seed_req.k = c.k;
+        seed_req.theta_left = c.theta_left;
+        seed_req.theta_right = c.theta_right;
+        if (traversal_family) {
+          seed_req.backend_options["candidate_gen"] = "scan";
+          seed_req.backend_options["adjacency_index"] = "off";
+        }
+        EnumerateStats seed_stats;
+        std::vector<Biplex> expect =
+            Enumerator(plain).Collect(seed_req, &seed_stats);
+        ASSERT_TRUE(seed_stats.ok()) << name << ": " << seed_stats.error;
+
+        EnumerateRequest accel_req;
+        accel_req.algorithm = name;
+        accel_req.k = c.k;
+        accel_req.theta_left = c.theta_left;
+        accel_req.theta_right = c.theta_right;
+        if (traversal_family) {
+          accel_req.backend_options["candidate_gen"] = "twohop";
+          accel_req.backend_options["adjacency_index"] = "force";
+        }
+        EnumerateStats accel_stats;
+        std::vector<Biplex> got =
+            Enumerator(indexed).Collect(accel_req, &accel_stats);
+        ASSERT_TRUE(accel_stats.ok()) << name << ": " << accel_stats.error;
+        ASSERT_EQ(got, expect)
+            << name << " graph=" << gi << " k=(" << c.k.left << ","
+            << c.k.right << ") theta=(" << c.theta_left << ","
+            << c.theta_right << ")\nexpect:\n"
+            << ToString(expect) << "got:\n"
+            << ToString(got);
+
+        // The accelerated path under the parallel driver must also match.
+        accel_req.threads = 4;
+        EnumerateStats par_stats;
+        std::vector<Biplex> par =
+            Enumerator(indexed).Collect(accel_req, &par_stats);
+        ASSERT_TRUE(par_stats.ok()) << name << ": " << par_stats.error;
+        ASSERT_EQ(par, expect) << name << " (threads=4) graph=" << gi;
+      }
+    }
+  }
+}
+
+// The 2-hop generator must engage (and prune candidates) when the gate
+// holds, and fall back to the scan when it cannot be equivalence-
+// preserving.
+TEST(TwoHopCandidates, EngagesOnlyUnderTheGate) {
+  BipartiteGraph g = MakeRandomGraph({10, 10, 0.5, 37});
+
+  TraversalOptions gated = MakeITraversalOptions(1);
+  gated.theta_left = gated.theta_right = 3;
+  gated.prune_small = true;
+  gated.candidate_gen = CandidateGenMode::kAuto;
+  TraversalStats with;
+  CollectSolutions(g, gated, &with);
+
+  gated.candidate_gen = CandidateGenMode::kScan;
+  TraversalStats without;
+  std::vector<Biplex> scan_sols = CollectSolutions(g, gated, &without);
+  gated.candidate_gen = CandidateGenMode::kTwoHop;
+  EXPECT_EQ(CollectSolutions(g, gated, nullptr), scan_sols);
+
+  // The generator materializes strictly fewer candidates than the scan
+  // examines (the scan counts every non-member of the side per frame).
+  EXPECT_LT(with.candidates_generated, without.candidates_generated);
+  EXPECT_EQ(with.solutions_emitted, without.solutions_emitted);
+
+  // Without thetas the gate cannot hold: kAuto and kTwoHop must behave
+  // exactly like the scan.
+  TraversalOptions ungated = MakeITraversalOptions(1);
+  ungated.candidate_gen = CandidateGenMode::kTwoHop;
+  TraversalStats t_ungated;
+  std::vector<Biplex> a = CollectSolutions(g, ungated, &t_ungated);
+  ungated.candidate_gen = CandidateGenMode::kScan;
+  TraversalStats t_scan;
+  std::vector<Biplex> b = CollectSolutions(g, ungated, &t_scan);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(t_ungated.candidates_generated, t_scan.candidates_generated);
+}
+
+TEST(TwoHopCandidates, RightAnchoredTraversalAgreesToo) {
+  BipartiteGraph g = MakeRandomGraph({8, 11, 0.45, 38});
+  std::vector<Biplex> scan_result;
+  for (auto mode : {CandidateGenMode::kScan, CandidateGenMode::kTwoHop}) {
+    TraversalOptions opts = MakeITraversalOptions(1);
+    opts.anchored_side = Side::kRight;
+    opts.theta_left = opts.theta_right = 2;
+    opts.prune_small = true;
+    opts.candidate_gen = mode;
+    if (mode == CandidateGenMode::kScan) {
+      scan_result = CollectSolutions(g, opts);
+    } else {
+      EXPECT_EQ(CollectSolutions(g, opts), scan_result);
+    }
+  }
+}
+
+// ------------------------------------------------------------ workspace --
+
+TEST(EnumAlmostSatWorkspace, ReuseMatchesFreshAllocation) {
+  BipartiteGraph g = MakeRandomGraph({8, 8, 0.5, 39});
+  // A 1-biplex to expand: take the first solution of the engine.
+  EnumerateRequest req;
+  req.algorithm = "itraversal";
+  req.max_results = 4;
+  std::vector<Biplex> sols = Enumerator(g).Collect(req);
+  ASSERT_FALSE(sols.empty());
+
+  EnumAlmostSatWorkspace ws;
+  for (const Biplex& h : sols) {
+    for (VertexId v = 0; v < g.NumLeft(); ++v) {
+      if (sorted::Contains(h.left, v)) continue;
+      std::vector<Biplex> fresh, reused;
+      EnumAlmostSatOptions fresh_opts;
+      EnumAlmostSat(g, h, Side::kLeft, v, 1, fresh_opts,
+                    [&](const Biplex& b) {
+                      fresh.push_back(b);
+                      return true;
+                    });
+      EnumAlmostSatOptions reuse_opts;
+      reuse_opts.workspace = &ws;  // carries state across iterations
+      EnumAlmostSat(g, h, Side::kLeft, v, 1, reuse_opts,
+                    [&](const Biplex& b) {
+                      reused.push_back(b);
+                      return true;
+                    });
+      ASSERT_EQ(reused, fresh) << "v=" << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kbiplex

@@ -350,6 +350,11 @@ TEST(Stats, JsonRendering) {
   EXPECT_NE(json.find("\"completed\":true"), std::string::npos);
   EXPECT_NE(json.find("\"traversal\":{"), std::string::npos);
   EXPECT_EQ(json.find("\"error\""), std::string::npos);
+  // The acceleration counters ride along in the traversal detail block
+  // (schema stays backward compatible: purely additive fields).
+  EXPECT_NE(json.find("\"candidates_generated\":"), std::string::npos);
+  EXPECT_NE(json.find("\"candidates_pruned\":"), std::string::npos);
+  EXPECT_NE(json.find("\"adjacency_tests\":"), std::string::npos);
 }
 
 TEST(Stats, JsonStaysValidForNonFiniteSeconds) {

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "util/arena_pool.h"
 #include "util/common.h"
 #include "util/dynamic_bitset.h"
 #include "util/random.h"
@@ -24,6 +25,22 @@ TEST(SortedOps, Contains) {
   EXPECT_FALSE(sorted::Contains(v, 0));
   EXPECT_FALSE(sorted::Contains(v, 4));
   EXPECT_FALSE(sorted::Contains({}, 4));
+}
+
+TEST(SortedOps, ContainsAgreesAcrossTheLinearScanThreshold) {
+  // Sizes straddling kLinearScanMax: both code paths must agree with a
+  // reference binary search on every probe.
+  constexpr size_t kThreshold = sorted::kLinearScanMax;
+  for (size_t n :
+       {kThreshold - 1, kThreshold, kThreshold + 1, 4 * kThreshold}) {
+    std::vector<VertexId> v;
+    for (size_t i = 0; i < n; ++i) v.push_back(static_cast<VertexId>(3 * i));
+    for (VertexId probe = 0; probe <= static_cast<VertexId>(3 * n); ++probe) {
+      EXPECT_EQ(sorted::Contains(v, probe),
+                std::binary_search(v.begin(), v.end(), probe))
+          << "n=" << n << " probe=" << probe;
+    }
+  }
 }
 
 TEST(SortedOps, IntersectionSize) {
@@ -187,6 +204,93 @@ TEST(DynamicBitset, BitwiseOps) {
   d -= b;
   EXPECT_EQ(d.Count(), 1u);
   EXPECT_TRUE(d.Test(1));
+}
+
+TEST(DynamicBitset, FindNextSetWordKernel) {
+  DynamicBitset b(300);
+  // An empty word span between the set bits exercises the word-skipping
+  // loop; a set bit at a word boundary exercises the mask.
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(255);
+  EXPECT_EQ(b.FindNextSet(0), 0u);
+  EXPECT_EQ(b.FindNextSet(1), 63u);
+  EXPECT_EQ(b.FindNextSet(64), 64u);
+  EXPECT_EQ(b.FindNextSet(65), 255u);
+  EXPECT_EQ(b.FindNextSet(256), 300u);
+  EXPECT_EQ(b.FindNextSet(1000), 300u);
+  EXPECT_EQ(DynamicBitset(0).FindNextSet(0), 0u);
+}
+
+TEST(DynamicBitset, ForEachSetVisitsExactlyTheSetBits) {
+  Rng rng(77);
+  DynamicBitset b(513);
+  std::set<size_t> expect;
+  for (int i = 0; i < 120; ++i) {
+    size_t bit = rng.NextBelow(513);
+    b.Set(bit);
+    expect.insert(bit);
+  }
+  std::vector<size_t> got;
+  b.ForEachSet([&](size_t i) { got.push_back(i); });
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+  EXPECT_EQ(std::set<size_t>(got.begin(), got.end()), expect);
+  EXPECT_EQ(got.size(), expect.size());
+  EXPECT_EQ(b.Count(), expect.size());
+}
+
+TEST(DynamicBitset, IntersectCount) {
+  DynamicBitset a(130), b(130);
+  a.Set(0);
+  a.Set(64);
+  a.Set(129);
+  b.Set(64);
+  b.Set(129);
+  b.Set(100);
+  EXPECT_EQ(a.IntersectCount(b), 2u);
+  EXPECT_EQ(b.IntersectCount(a), 2u);
+  DynamicBitset empty(130);
+  EXPECT_EQ(a.IntersectCount(empty), 0u);
+  // Consistency with the materializing path.
+  DynamicBitset i = a;
+  i &= b;
+  EXPECT_EQ(i.Count(), a.IntersectCount(b));
+}
+
+// ---------------------------------------------------------- arena pool ---
+
+TEST(ArenaPool, RecyclesObjectsAndKeepsCapacity) {
+  struct PooledFrame {
+    std::vector<int> data;
+    void Reset() { data.clear(); }
+  };
+  ArenaPool<PooledFrame> pool;
+  std::unique_ptr<PooledFrame> a = pool.Acquire();
+  EXPECT_EQ(pool.allocated(), 1u);
+  EXPECT_EQ(pool.reused(), 0u);
+  a->data.assign(1000, 7);
+  PooledFrame* raw = a.get();
+  pool.Release(std::move(a));
+  EXPECT_EQ(pool.free_size(), 1u);
+
+  // The same object comes back, logically empty but with its buffer.
+  std::unique_ptr<PooledFrame> b = pool.Acquire();
+  EXPECT_EQ(b.get(), raw);
+  EXPECT_EQ(pool.reused(), 1u);
+  EXPECT_TRUE(b->data.empty());
+  EXPECT_GE(b->data.capacity(), 1000u);
+
+  // A second concurrent acquire allocates fresh.
+  std::unique_ptr<PooledFrame> c = pool.Acquire();
+  EXPECT_NE(c.get(), raw);
+  EXPECT_EQ(pool.allocated(), 2u);
+
+  pool.Release(std::move(b));
+  pool.Release(std::move(c));
+  EXPECT_EQ(pool.free_size(), 2u);
+  pool.Release(nullptr);  // no-op
+  EXPECT_EQ(pool.free_size(), 2u);
 }
 
 // ------------------------------------------------------------ subsets ----

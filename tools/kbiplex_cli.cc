@@ -26,6 +26,7 @@
 #include "api/enumerator.h"
 #include "graph/core_decomposition.h"
 #include "graph/graph_io.h"
+#include "graph/renumber.h"
 
 using namespace kbiplex;
 
@@ -36,7 +37,9 @@ struct CliArgs {
   std::string path;
   EnumerateRequest request;
   bool json = false;
-  bool quiet = false;  // suppress solution lines, print counts only
+  bool quiet = false;   // suppress solution lines, print counts only
+  bool accel = false;   // attach the hybrid adjacency index before running
+  bool renumber = false;  // degeneracy-renumber; ids mapped back on output
 };
 
 void PrintUsage() {
@@ -52,6 +55,7 @@ void PrintUsage() {
                "[--threads N]\n"
                "                    [--opt KEY=VALUE]... [--format text|json] "
                "[--quiet]\n"
+               "                    [--accel] [--renumber]\n"
                "  kbiplex large <edge-list> --theta-l N --theta-r N [--k N] "
                "[--max N] [--budget S] [--quiet]\n"
                "  kbiplex stats <edge-list>\n"
@@ -128,6 +132,10 @@ std::optional<CliArgs> Parse(int argc, char** argv) {
     };
     if (flag == "--quiet") {
       args.quiet = true;
+    } else if (flag == "--accel") {
+      args.accel = true;
+    } else if (flag == "--renumber") {
+      args.renumber = true;
     } else if (flag == "--k") {
       int k = 0;
       if (!next_parsed(to_int, &k)) return std::nullopt;
@@ -190,14 +198,27 @@ std::optional<CliArgs> Parse(int argc, char** argv) {
 }
 
 int RunRequest(const CliArgs& args, const BipartiteGraph& g) {
-  Enumerator enumerator(g);
+  // Optional degeneracy renumbering: enumerate on the permuted graph for
+  // cache locality, mapping every solution back to the input ids. The
+  // solution set is identical; only the delivery order may differ.
+  RenumberedGraph renum;
+  if (args.renumber) renum = RenumberByDegeneracy(g);
+  const BipartiteGraph& run_graph = args.renumber ? renum.graph : g;
+  Enumerator enumerator(run_graph);
   StreamWriterSink writer(&std::cout,
                           args.json ? StreamWriterSink::Format::kJsonLines
                                     : StreamWriterSink::Format::kText);
   CountingSink counter;
   SolutionSink* sink =
       args.quiet ? static_cast<SolutionSink*>(&counter) : &writer;
-  EnumerateStats stats = enumerator.Run(args.request, sink);
+  CallbackSink mapper([&](const Biplex& b) {
+    VertexSetPair mapped = renum.MapBack(b.left, b.right);
+    Biplex original{std::move(mapped.left), std::move(mapped.right)};
+    return sink->Accept(original);
+  });
+  EnumerateStats stats = enumerator.Run(
+      args.request, args.renumber ? static_cast<SolutionSink*>(&mapper)
+                                  : sink);
   if (!stats.ok()) {
     std::cerr << "error: " << stats.error << "\n";
     if (args.json) std::cout << stats.ToJson() << "\n";
@@ -267,7 +288,8 @@ int main(int argc, char** argv) {
     std::cerr << "error: " << r.error << "\n";
     return 1;
   }
-  const BipartiteGraph& g = *r.graph;
+  BipartiteGraph& g = *r.graph;
+  if (args->accel) g.BuildAdjacencyIndex();
   if (args->command == "enumerate") return RunRequest(*args, g);
   if (args->command == "large") return CmdLarge(*args, g);
   if (args->command == "stats") return CmdStats(g);
