@@ -120,6 +120,15 @@ EnumerateStats RunCounting(const BipartiteGraph& g,
   return stats;
 }
 
+EnumerateStats RunCountingLogged(BenchJsonWriter* writer, std::string name,
+                                 const std::string& dataset,
+                                 const BipartiteGraph& g,
+                                 const EnumerateRequest& request) {
+  EnumerateStats stats = RunCounting(g, request);
+  writer->AddRun(std::move(name), dataset, request, stats);
+  return stats;
+}
+
 bool FinishedFirstN(const EnumerateStats& stats, uint64_t max_results) {
   return stats.completed ||
          (max_results != 0 && stats.solutions >= max_results);

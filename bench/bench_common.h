@@ -74,6 +74,17 @@ EnumerateRequest MakeRequest(const std::string& algorithm, int k,
 EnumerateStats RunCounting(const BipartiteGraph& g,
                            const EnumerateRequest& request);
 
+class BenchJsonWriter;
+
+/// RunCounting plus a machine-readable record: the run is appended to
+/// `writer` (see BenchJsonWriter::AddRun) under the row label `name` and
+/// dataset `dataset`. The standard way a figure harness reports every cell
+/// into its BENCH_*.json.
+EnumerateStats RunCountingLogged(BenchJsonWriter* writer, std::string name,
+                                 const std::string& dataset,
+                                 const BipartiteGraph& g,
+                                 const EnumerateRequest& request);
+
 /// The paper's notion of a finished "first N MBPs" run: the enumeration
 /// completed, or it stopped exactly because the result cap was reached.
 bool FinishedFirstN(const EnumerateStats& stats, uint64_t max_results);

@@ -101,6 +101,7 @@ int main(int argc, char** argv) {
   std::printf("hardware threads: %u\n\n",
               std::thread::hardware_concurrency());
 
+  BenchJsonWriter writer("parallel_scaling");
   bool consistent = true;
   for (Workload& w : MakeWorkloads(quick)) {
     Enumerator enumerator(w.graph);
@@ -126,6 +127,9 @@ int main(int argc, char** argv) {
       } else if (stats.solutions != base_solutions) {
         consistent = false;
       }
+      writer.AddRun(w.request.algorithm + "/threads=" +
+                        std::to_string(threads),
+                    w.name, w.request, stats);
       char speedup[32];
       std::snprintf(speedup, sizeof(speedup), "%.2fx",
                     stats.seconds > 0 ? base_seconds / stats.seconds : 1.0);

@@ -54,7 +54,11 @@ struct EnumerateRequest {
   /// unspecified and sinks are invoked from worker threads (serialized,
   /// one at a time). When a run stops early — max_results, time budget,
   /// sink stop — the cap is still enforced exactly, but *which* solutions
-  /// arrive depends on worker interleaving.
+  /// arrive depends on worker interleaving. Because delivery may happen
+  /// from worker threads, the sink must declare it tolerates that (see
+  /// the threading contract in api/solution_sink.h): every request with
+  /// threads != 1 is rejected when the sink's ThreadCompatible() returns
+  /// false — wrap such a sink in SynchronizedSink or override the method.
   int threads = 1;
 
   /// Optional cooperative cancellation, polled by every backend at the

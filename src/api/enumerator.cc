@@ -6,7 +6,8 @@
 #include <string>
 #include <utility>
 
-#include "api/parallel_driver.h"
+#include "api/prepared_graph.h"
+#include "api/query_session.h"
 #include "baselines/imb.h"
 #include "baselines/inflation_enum.h"
 #include "core/brute_force.h"
@@ -134,9 +135,11 @@ class TraversalBackend final : public AlgorithmBackend {
  public:
   explicit TraversalBackend(TraversalOptions base) : base_(base) {}
 
-  EnumerateStats Run(const BipartiteGraph& g, const EnumerateRequest& req,
+  EnumerateStats Run(const QueryContext& ctx, const EnumerateRequest& req,
                      SolutionSink* sink) override {
+    const BipartiteGraph& g = ctx.prepared->ExecutionGraph();
     TraversalOptions opts = base_;
+    opts.scratch = ctx.scratch;
     opts.k = req.k;
     opts.theta_left = req.theta_left;
     opts.theta_right = req.theta_right;
@@ -206,9 +209,11 @@ class TraversalBackend final : public AlgorithmBackend {
 
 class LargeMbpBackend final : public AlgorithmBackend {
  public:
-  EnumerateStats Run(const BipartiteGraph& g, const EnumerateRequest& req,
+  EnumerateStats Run(const QueryContext& ctx, const EnumerateRequest& req,
                      SolutionSink* sink) override {
+    const BipartiteGraph& g = ctx.prepared->ExecutionGraph();
     LargeMbpOptions opts;
+    opts.scratch = ctx.scratch;
     opts.k = req.k;
     opts.theta_left = req.theta_left;
     opts.theta_right = req.theta_right;
@@ -250,8 +255,9 @@ class LargeMbpBackend final : public AlgorithmBackend {
 
 class ImbBackend final : public AlgorithmBackend {
  public:
-  EnumerateStats Run(const BipartiteGraph& g, const EnumerateRequest& req,
+  EnumerateStats Run(const QueryContext& ctx, const EnumerateRequest& req,
                      SolutionSink* sink) override {
+    const BipartiteGraph& g = ctx.prepared->ExecutionGraph();
     ImbOptions opts;
     opts.k = req.k.left;  // uniformity validated by the facade
     opts.theta_left = req.theta_left;
@@ -283,8 +289,9 @@ class ImbBackend final : public AlgorithmBackend {
 
 class InflationBackend final : public AlgorithmBackend {
  public:
-  EnumerateStats Run(const BipartiteGraph& g, const EnumerateRequest& req,
+  EnumerateStats Run(const QueryContext& ctx, const EnumerateRequest& req,
                      SolutionSink* sink) override {
+    const BipartiteGraph& g = ctx.prepared->ExecutionGraph();
     InflationBaselineOptions opts;
     opts.k = req.k.left;  // uniformity validated by the facade
     opts.time_budget_seconds = req.time_budget_seconds;
@@ -320,8 +327,9 @@ class InflationBackend final : public AlgorithmBackend {
 
 class BruteForceBackend final : public AlgorithmBackend {
  public:
-  EnumerateStats Run(const BipartiteGraph& g, const EnumerateRequest& req,
+  EnumerateStats Run(const QueryContext& ctx, const EnumerateRequest& req,
                      SolutionSink* sink) override {
+    const BipartiteGraph& g = ctx.prepared->ExecutionGraph();
     OptionReader reader(req.backend_options);
     if (std::string err = reader.Finish(); !err.empty()) {
       return Rejected(std::move(err));
@@ -360,55 +368,14 @@ class BruteForceBackend final : public AlgorithmBackend {
 
 EnumerateStats Enumerator::Run(const EnumerateRequest& request,
                                SolutionSink* sink) const {
-  const std::string name = NormalizeAlgorithmName(request.algorithm);
-  std::optional<AlgorithmInfo> info = registry_->Find(name);
-  if (!info.has_value()) {
-    std::string names;
-    for (const std::string& n : registry_->Names()) {
-      if (!names.empty()) names += ", ";
-      names += n;
-    }
-    EnumerateStats out = Rejected("unknown algorithm '" + request.algorithm +
-                                  "'; registered: " + names);
-    out.algorithm = name;
-    return out;
-  }
-
-  EnumerateStats out;
-  if (request.k.left < 1 || request.k.right < 1) {
-    out = Rejected("disconnection budgets must be >= 1");
-  } else if (request.threads < 0) {
-    out = Rejected("threads must be >= 0 (0 = one per hardware thread)");
-  } else if (!info->supports_asymmetric_k && !request.k.IsUniform()) {
-    out = Rejected("algorithm '" + name +
-                   "' requires uniform budgets (k.left == k.right)");
-  } else if (info->requires_theta &&
-             (request.theta_left < 1 || request.theta_right < 1)) {
-    out = Rejected("algorithm '" + name +
-                   "' requires theta_left >= 1 and theta_right >= 1");
-  } else if (info->max_side != 0 && (g_->NumLeft() > info->max_side ||
-                                     g_->NumRight() > info->max_side)) {
-    out = Rejected("algorithm '" + name + "' supports at most " +
-                   std::to_string(info->max_side) + " vertices per side");
-  } else if (Cancelled(request.cancellation)) {
-    out.completed = false;
-    out.cancelled = true;
-  } else {
-    std::optional<EnumerateStats> parallel;
-    if (request.threads != 1) {
-      parallel = internal::TryRunParallel(*g_, request, *registry_, *info,
-                                          sink);
-    }
-    out = parallel.has_value()
-              ? std::move(*parallel)
-              : registry_->Create(name)->Run(*g_, request, sink);
-    if (!out.ok()) out.completed = false;
-    if (!out.completed && Cancelled(request.cancellation)) {
-      out.cancelled = true;
-    }
-  }
-  out.algorithm = name;
-  return out;
+  // Prepare + single execute, with no artifacts attached and no session
+  // scratch: a borrowed prepared graph executes exactly like a direct run
+  // on the caller's graph, keeping the one-shot behavior of this shim
+  // compatible with the pre-session API. (Sole deliberate exception: the
+  // sink threading contract — threads != 1 with a sink that does not
+  // declare ThreadCompatible() is now rejected; see api/solution_sink.h.)
+  return internal::RunOnPrepared(*prepared_, /*scratch=*/nullptr, *registry_,
+                                 request, sink);
 }
 
 EnumerateStats Enumerator::Run(

@@ -49,10 +49,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "api/enumerate_request.h"
 #include "api/enumerate_stats.h"
+#include "api/prepared_graph.h"
 #include "api/registry.h"
 #include "api/solution_sink.h"
 #include "graph/bipartite_graph.h"
@@ -63,6 +65,12 @@ namespace kbiplex {
 /// selected backend's capabilities, runs it, and returns unified stats.
 /// The graph must outlive the facade. Run is const and reentrant; each
 /// call is an independent enumeration.
+///
+/// This is the one-shot compatibility shim over the prepare/execute API
+/// (api/prepared_graph.h + api/query_session.h): it borrows the caller's
+/// graph without attaching any artifact, so each Run pays the full
+/// per-query preprocessing cost. Services answering many queries over one
+/// graph should use PreparedGraph::Prepare + QuerySession instead.
 class Enumerator {
  public:
   /// Uses the process-wide registry.
@@ -71,7 +79,7 @@ class Enumerator {
 
   /// Uses a custom registry (tests, embedders).
   Enumerator(const BipartiteGraph& g, const AlgorithmRegistry& registry)
-      : g_(&g), registry_(&registry) {}
+      : prepared_(PreparedGraph::Borrow(g)), registry_(&registry) {}
 
   /// Runs the request, delivering solutions to `sink`. Rejected requests
   /// return stats with a non-empty `error` and no solutions delivered.
@@ -91,7 +99,7 @@ class Enumerator {
                  EnumerateStats* stats = nullptr) const;
 
  private:
-  const BipartiteGraph* g_;
+  std::shared_ptr<const PreparedGraph> prepared_;
   const AlgorithmRegistry* registry_;
 };
 

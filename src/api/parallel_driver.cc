@@ -338,7 +338,7 @@ class MappingSink final : public SolutionSink {
 };
 
 std::optional<EnumerateStats> TryRunParallelComponents(
-    const BipartiteGraph& g, const EnumerateRequest& request,
+    const PreparedGraph& prepared, const EnumerateRequest& request,
     const AlgorithmRegistry& registry, size_t threads, SolutionSink* sink) {
   if (!ComponentShardingIsSafe(request.k, request.theta_left,
                                request.theta_right)) {
@@ -350,13 +350,15 @@ std::optional<EnumerateStats> TryRunParallelComponents(
   // in parallel). Run sequentially rather than change its meaning.
   if (request.max_links != 0) return std::nullopt;
   WallTimer timer;
+  const BipartiteGraph& g = prepared.ExecutionGraph();
 
-  // Cheap labeling pass first: a component too small for the thresholds
-  // cannot host a deliverable solution (and spanning solutions are
-  // excluded by the safety check), and unless at least two components
-  // survive that filter the common single-component case bails out here
-  // without materializing any induced subgraph.
-  const ComponentLabeling labels = LabelConnectedComponents(g);
+  // Cheap labeling pass first (cached on the prepared graph, so repeated
+  // parallel queries of one session pay for it once): a component too
+  // small for the thresholds cannot host a deliverable solution (and
+  // spanning solutions are excluded by the safety check), and unless at
+  // least two components survive that filter the common single-component
+  // case bails out here without materializing any induced subgraph.
+  const ComponentLabeling& labels = prepared.Components();
   std::vector<std::pair<size_t, size_t>> comp_sizes(labels.num_components);
   for (VertexId l = 0; l < g.NumLeft(); ++l) {
     ++comp_sizes[labels.left[l]].first;
@@ -414,8 +416,14 @@ std::optional<EnumerateStats> TryRunParallelComponents(
         std::unique_ptr<AlgorithmBackend> backend =
             registry.Create(shard_request.algorithm);
         MappingSink mapping(&delivery, components[i]);
-        shard_stats[i] =
-            backend->Run(components[i].graph, shard_request, &mapping);
+        // Each shard wraps its component in a borrowed prepared graph (no
+        // artifacts, no scratch): workers must not share the session's
+        // single-threaded scratch, and component subgraphs are enumerated
+        // once each.
+        std::shared_ptr<const PreparedGraph> shard_prepared =
+            PreparedGraph::Borrow(components[i].graph);
+        QueryContext shard_ctx{shard_prepared.get(), nullptr};
+        shard_stats[i] = backend->Run(shard_ctx, shard_request, &mapping);
         if (!shard_stats[i].error.empty()) {
           errors.Record(shard_stats[i].error);
           stop.Cancel();  // identical rejection awaits the other shards
@@ -468,13 +476,14 @@ bool ComponentShardingIsSafe(KPair k, size_t theta_left, size_t theta_right) {
          (theta_right > kl && theta_left > 2 * kr);
 }
 
-std::optional<EnumerateStats> TryRunParallel(const BipartiteGraph& g,
+std::optional<EnumerateStats> TryRunParallel(const PreparedGraph& prepared,
                                              const EnumerateRequest& request,
                                              const AlgorithmRegistry& registry,
                                              const AlgorithmInfo& info,
                                              SolutionSink* sink) {
   const size_t threads = ResolveThreadCount(request.threads);
   if (threads < 2) return std::nullopt;
+  const BipartiteGraph& g = prepared.ExecutionGraph();
   if (info.name == "brute-force") {
     if (g.NumLeft() == 0) return std::nullopt;  // one mask; nothing to split
     return RunParallelBruteForce(g, request, threads, sink);
@@ -491,7 +500,8 @@ std::optional<EnumerateStats> TryRunParallel(const BipartiteGraph& g,
       request.backend_options.count("max_inflated_edges") != 0) {
     return std::nullopt;
   }
-  return TryRunParallelComponents(g, request, registry, threads, sink);
+  return TryRunParallelComponents(prepared, request, registry, threads,
+                                  sink);
 }
 
 }  // namespace internal

@@ -33,6 +33,7 @@
 
 #include "api/enumerate_request.h"
 #include "api/enumerate_stats.h"
+#include "api/prepared_graph.h"
 #include "api/registry.h"
 #include "api/solution_sink.h"
 #include "graph/bipartite_graph.h"
@@ -52,12 +53,16 @@ size_t ResolveThreadCount(int threads);
 /// an optimization detail).
 bool ComponentShardingIsSafe(KPair k, size_t theta_left, size_t theta_right);
 
-/// Runs `request` with the multi-threaded driver, or returns nullopt when
-/// no equivalent parallel plan exists (single worker resolved, unsafe
-/// component sharding, degenerate graph) — the caller then runs the
-/// normal sequential path. Pre-conditions: the request passed facade
-/// validation for `info` and request.threads >= 0.
-std::optional<EnumerateStats> TryRunParallel(const BipartiteGraph& g,
+/// Runs `request` with the multi-threaded driver against
+/// `prepared.ExecutionGraph()`, or returns nullopt when no equivalent
+/// parallel plan exists (single worker resolved, unsafe component
+/// sharding, degenerate graph) — the caller then runs the normal
+/// sequential path. The component plan consumes the prepared graph's
+/// cached component labeling instead of recomputing it per run. Solutions
+/// are delivered in execution-graph ids; renumbering map-back is the
+/// caller's concern. Pre-conditions: the request passed facade validation
+/// for `info` and request.threads >= 0.
+std::optional<EnumerateStats> TryRunParallel(const PreparedGraph& prepared,
                                              const EnumerateRequest& request,
                                              const AlgorithmRegistry& registry,
                                              const AlgorithmInfo& info,

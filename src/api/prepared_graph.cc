@@ -1,0 +1,169 @@
+#include "api/prepared_graph.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/timer.h"
+
+namespace kbiplex {
+namespace {
+
+/// Largest a with a non-empty (a,a)-core, via one joint min-degree peel
+/// over both sides (the bipartite graph's degeneracy: the (a,a)-core is
+/// the a-core of the underlying general graph, so the bound equals the
+/// maximum residual degree observed at removal time). O(|V| + |E|) with a
+/// lazily-cleaned bucket queue, against O(degeneracy * (|V| + |E|)) for
+/// repeated core peels.
+size_t ComputeMaxUniformCore(const BipartiteGraph& g) {
+  const size_t nl = g.NumLeft();
+  const size_t n = nl + g.NumRight();
+  if (g.NumEdges() == 0) return 0;
+  // Joint vertex ids: left v -> v, right u -> nl + u.
+  std::vector<size_t> deg(n);
+  size_t max_degree = 0;
+  for (size_t v = 0; v < nl; ++v) {
+    deg[v] = g.LeftDegree(static_cast<VertexId>(v));
+    max_degree = std::max(max_degree, deg[v]);
+  }
+  for (size_t u = nl; u < n; ++u) {
+    deg[u] = g.RightDegree(static_cast<VertexId>(u - nl));
+    max_degree = std::max(max_degree, deg[u]);
+  }
+  std::vector<std::vector<size_t>> buckets(max_degree + 1);
+  for (size_t v = 0; v < n; ++v) buckets[deg[v]].push_back(v);
+  std::vector<char> removed(n, 0);
+  size_t degeneracy = 0;
+  size_t cur = 0;
+  for (size_t peeled = 0; peeled < n;) {
+    if (cur > max_degree) break;  // only stale entries were left
+    if (buckets[cur].empty()) {
+      ++cur;
+      continue;
+    }
+    const size_t v = buckets[cur].back();
+    buckets[cur].pop_back();
+    if (removed[v] != 0 || deg[v] != cur) continue;  // stale entry
+    removed[v] = 1;
+    ++peeled;
+    degeneracy = std::max(degeneracy, cur);
+    const bool is_left = v < nl;
+    for (VertexId w : is_left
+                          ? g.LeftNeighbors(static_cast<VertexId>(v))
+                          : g.RightNeighbors(static_cast<VertexId>(v - nl))) {
+      const size_t wi = is_left ? nl + static_cast<size_t>(w)
+                                : static_cast<size_t>(w);
+      if (removed[wi] != 0) continue;
+      buckets[--deg[wi]].push_back(wi);
+      cur = std::min(cur, deg[wi]);
+    }
+  }
+  return degeneracy;
+}
+
+}  // namespace
+
+std::shared_ptr<const PreparedGraph> PreparedGraph::Prepare(
+    BipartiteGraph g, PrepareOptions options) {
+  return std::shared_ptr<const PreparedGraph>(
+      new PreparedGraph(std::move(g), options));
+}
+
+std::shared_ptr<const PreparedGraph> PreparedGraph::Borrow(
+    const BipartiteGraph& g) {
+  // A borrowed graph is never mutated, so every artifact that would attach
+  // to it is disabled — and the shim semantics (pre-session behavior,
+  // byte for byte) also rule out the short-circuit; execution matches a
+  // direct run on `g`.
+  PrepareOptions options;
+  options.adjacency_index = AdjacencyAccelMode::kOff;
+  options.renumber = false;
+  options.core_bound_shortcut = false;
+  return std::shared_ptr<const PreparedGraph>(new PreparedGraph(&g, options));
+}
+
+PreparedGraph::PreparedGraph(BipartiteGraph g, PrepareOptions options)
+    : options_(options),
+      owned_(std::make_unique<BipartiteGraph>(std::move(g))),
+      graph_(owned_.get()) {}
+
+PreparedGraph::PreparedGraph(const BipartiteGraph* view,
+                             PrepareOptions options)
+    : options_(options), graph_(view) {}
+
+void PreparedGraph::BuildExecutionGraph() const {
+  WallTimer timer;
+  BipartiteGraph* target = owned_.get();  // null in view mode
+  if (options_.renumber) {
+    renumbering_ = RenumberByDegeneracy(*graph_);
+    target = &renumbering_.graph;
+  }
+  bool attach = false;
+  switch (options_.adjacency_index) {
+    case AdjacencyAccelMode::kOff:
+      break;
+    case AdjacencyAccelMode::kAuto:
+      // Same threshold at which an engine would build a throwaway per-run
+      // index, so kAuto never attaches where no engine would want one.
+      attach = graph_->NumEdges() >= kAutoIndexMinEdges;
+      break;
+    case AdjacencyAccelMode::kForce:
+      attach = true;
+      break;
+  }
+  if (attach && target != nullptr) {
+    target->BuildAdjacencyIndex(options_.adjacency_min_degree);
+  }
+  exec_graph_ = target != nullptr ? target : graph_;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.execution_graph_builds;
+  stats_.build_seconds += timer.ElapsedSeconds();
+}
+
+const BipartiteGraph& PreparedGraph::ExecutionGraph() const {
+  std::call_once(exec_once_, [this] { BuildExecutionGraph(); });
+  return *exec_graph_;
+}
+
+const RenumberedGraph& PreparedGraph::Renumbering() const {
+  ExecutionGraph();  // ensure the renumbering is built
+  return renumbering_;
+}
+
+const ComponentLabeling& PreparedGraph::Components() const {
+  std::call_once(components_once_, [this] {
+    // Resolve the execution graph before starting the timer so a lazily
+    // triggered renumber/index build is not double-counted here.
+    const BipartiteGraph& g = ExecutionGraph();
+    WallTimer timer;
+    components_ = LabelConnectedComponents(g);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.component_builds;
+    stats_.build_seconds += timer.ElapsedSeconds();
+  });
+  return components_;
+}
+
+size_t PreparedGraph::MaxUniformCore() const {
+  std::call_once(core_bound_once_, [this] {
+    const BipartiteGraph& g = ExecutionGraph();  // outside the timed region
+    WallTimer timer;
+    max_uniform_core_ = ComputeMaxUniformCore(g);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.core_bound_builds;
+    stats_.build_seconds += timer.ElapsedSeconds();
+  });
+  return max_uniform_core_;
+}
+
+void PreparedGraph::Warmup() const {
+  ExecutionGraph();
+  Components();
+  MaxUniformCore();
+}
+
+PrepareArtifactStats PreparedGraph::artifact_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace kbiplex

@@ -1,0 +1,164 @@
+// The "prepare" half of the prepare/execute API: an immutable, shareable
+// PreparedGraph owns a loaded BipartiteGraph plus the expensive
+// preprocessing artifacts every query over that graph wants — the hybrid
+// bitset adjacency index, the degeneracy renumbering (solutions are mapped
+// back to input ids automatically), the connected-component labeling used
+// by the parallel driver, and a core-decomposition bound that lets
+// provably-empty queries answer instantly. Artifacts are built lazily, at
+// most once, and are safe to consume from any number of concurrent
+// QuerySessions (api/query_session.h):
+//
+//   auto prepared = PreparedGraph::Prepare(std::move(g),
+//                                          {.renumber = true});
+//   QuerySession session(prepared);
+//   for (const EnumerateRequest& req : queries) {
+//     session.Run(req, &sink);   // artifacts and scratch reused
+//   }
+//
+// This mirrors the classic prepare/execute split of database engines: the
+// one-shot Enumerate(g, request, sink) facade remains as a thin
+// compatibility shim (prepare + single execute, no artifacts attached).
+#ifndef KBIPLEX_API_PREPARED_GRAPH_H_
+#define KBIPLEX_API_PREPARED_GRAPH_H_
+
+#include <memory>
+#include <mutex>
+
+#include "core/traversal_options.h"
+#include "graph/adjacency_index.h"
+#include "graph/bipartite_graph.h"
+#include "graph/components.h"
+#include "graph/renumber.h"
+
+namespace kbiplex {
+
+/// Which artifacts a PreparedGraph applies to its execution graph.
+struct PrepareOptions {
+  /// Attached-adjacency-index policy: kAuto attaches the hybrid bitset
+  /// index when the graph has at least kAutoIndexMinEdges edges (the same
+  /// threshold at which an engine would build a throwaway per-run index),
+  /// kForce always attaches, kOff never does. The attached index is built
+  /// once and shared by every query and session.
+  AdjacencyAccelMode adjacency_index = AdjacencyAccelMode::kAuto;
+
+  /// Row threshold forwarded to the index build
+  /// (AdjacencyIndex::kAutoThreshold = heuristic).
+  size_t adjacency_min_degree = AdjacencyIndex::kAutoThreshold;
+
+  /// Degeneracy-renumber the execution graph for cache locality (see
+  /// graph/renumber.h). Queries still see and produce input-graph ids:
+  /// every delivered solution is mapped back automatically.
+  bool renumber = false;
+
+  /// Answer thresholded queries whose result set the cached core bound
+  /// proves empty without running a backend. On by default for prepared
+  /// service graphs; the one-shot compatibility paths (Borrow, the CLI
+  /// enumerate/large commands) turn it off so single-query runs keep the
+  /// pre-session stats output — backend counter blocks included — byte
+  /// for byte and never pay the core-bound build.
+  bool core_bound_shortcut = true;
+};
+
+/// Build counters of the lazily-created artifacts; each counter is the
+/// number of times the corresponding build actually ran, so a correctly
+/// shared PreparedGraph reports at most 1 per artifact no matter how many
+/// sessions raced to request it.
+struct PrepareArtifactStats {
+  int execution_graph_builds = 0;  // renumbering and/or index attach
+  int component_builds = 0;
+  int core_bound_builds = 0;
+  double build_seconds = 0;  // total time spent inside artifact builds
+};
+
+/// A graph prepared for repeated querying. Construct through Prepare()
+/// (owning) or Borrow() (non-owning view, used by the one-shot
+/// compatibility shim); instances are immutable from the caller's point of
+/// view and every accessor is safe to call concurrently.
+class PreparedGraph {
+ public:
+  /// Takes ownership of `g` and prepares it under `options`. Artifacts
+  /// are built lazily on first use; call Warmup() to build them eagerly.
+  static std::shared_ptr<const PreparedGraph> Prepare(
+      BipartiteGraph g, PrepareOptions options = {});
+
+  /// Wraps a caller-owned graph without copying it and without ever
+  /// mutating it: no index is attached and no renumbering happens, so
+  /// execution matches a direct run on `g` exactly. `g` must outlive the
+  /// returned object.
+  static std::shared_ptr<const PreparedGraph> Borrow(const BipartiteGraph& g);
+
+  PreparedGraph(const PreparedGraph&) = delete;
+  PreparedGraph& operator=(const PreparedGraph&) = delete;
+
+  /// The input graph, in input ids, exactly as handed to Prepare/Borrow.
+  const BipartiteGraph& graph() const { return *graph_; }
+
+  const PrepareOptions& options() const { return options_; }
+
+  /// The graph queries execute on: the input graph with the prepare-time
+  /// artifacts applied (renumbered ids and/or an attached adjacency
+  /// index). Built on first call, then cached; thread-safe.
+  const BipartiteGraph& ExecutionGraph() const;
+
+  /// True iff the execution graph uses renumbered ids (solutions must be
+  /// mapped back through Renumbering()).
+  bool renumbered() const { return options_.renumber; }
+
+  /// True iff this wraps a caller-owned graph (Borrow). Borrowed graphs
+  /// serve the one-shot compatibility shim, so the facade applies none of
+  /// the session-only execution changes (e.g. the core-bound
+  /// short-circuit) to them.
+  bool borrowed() const { return owned_ == nullptr; }
+
+  /// The id maps of the renumbered execution graph. Requires renumbered().
+  const RenumberedGraph& Renumbering() const;
+
+  /// Connected-component labeling of the execution graph (consumed by the
+  /// parallel driver). Built on first call, then cached; thread-safe.
+  const ComponentLabeling& Components() const;
+
+  /// The largest a such that the (a,a)-core of the graph is non-empty
+  /// (0 for an edgeless graph). Any k-biplex whose thresholds demand
+  /// per-vertex degrees above this bound cannot exist, so sessions answer
+  /// such queries instantly. Built on first call, then cached.
+  size_t MaxUniformCore() const;
+
+  /// Builds every artifact now (prepare-heavy, execute-light servers).
+  void Warmup() const;
+
+  /// Snapshot of the artifact build counters.
+  PrepareArtifactStats artifact_stats() const;
+
+ private:
+  PreparedGraph(BipartiteGraph g, PrepareOptions options);
+  PreparedGraph(const BipartiteGraph* view, PrepareOptions options);
+
+  void BuildExecutionGraph() const;
+
+  PrepareOptions options_;
+  // Owning mode stores the graph; view mode points at the caller's.
+  // Mutable because attaching the lazily-built adjacency index is a
+  // const-from-the-outside operation on the owned graph.
+  mutable std::unique_ptr<BipartiteGraph> owned_;
+  const BipartiteGraph* graph_ = nullptr;
+
+  // Lazily-built artifacts. All mutable state is guarded by the call_once
+  // flags (built at most once; readers see the published result) plus
+  // stats_mu_ for the counters.
+  mutable std::once_flag exec_once_;
+  mutable RenumberedGraph renumbering_;        // engaged iff options_.renumber
+  mutable const BipartiteGraph* exec_graph_ = nullptr;
+
+  mutable std::once_flag components_once_;
+  mutable ComponentLabeling components_;
+
+  mutable std::once_flag core_bound_once_;
+  mutable size_t max_uniform_core_ = 0;
+
+  mutable std::mutex stats_mu_;
+  mutable PrepareArtifactStats stats_;
+};
+
+}  // namespace kbiplex
+
+#endif  // KBIPLEX_API_PREPARED_GRAPH_H_

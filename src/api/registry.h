@@ -21,6 +21,22 @@
 
 namespace kbiplex {
 
+class PreparedGraph;       // api/prepared_graph.h
+struct TraversalScratch;   // core/traversal_scratch.h
+
+/// Everything a backend executes against: the prepared graph whose
+/// ExecutionGraph() it must enumerate (with any cached artifacts already
+/// applied — attached adjacency index, renumbered ids) plus optional
+/// session scratch reused across queries. Solutions are delivered in
+/// execution-graph ids; the facade layer maps them back to input ids when
+/// the prepared graph is renumbered.
+struct QueryContext {
+  const PreparedGraph* prepared = nullptr;  // never null for backend runs
+  /// Cross-query scratch of the owning session, or null (per-run scratch).
+  /// Never shared between concurrently running backends.
+  TraversalScratch* scratch = nullptr;
+};
+
 /// One enumeration backend behind the unified API. Implementations apply
 /// the request to their native options struct, run, and normalize their
 /// native counters into EnumerateStats. Instances are single-use: the
@@ -29,10 +45,11 @@ class AlgorithmBackend {
  public:
   virtual ~AlgorithmBackend() = default;
 
-  /// Runs the enumeration, delivering solutions to `sink`. Shared request
-  /// validation (asymmetric budgets, thresholds, graph size) has already
-  /// happened; implementations still reject unknown backend_options keys.
-  virtual EnumerateStats Run(const BipartiteGraph& g,
+  /// Runs the enumeration against ctx.prepared's execution graph,
+  /// delivering solutions to `sink`. Shared request validation (asymmetric
+  /// budgets, thresholds, graph size) has already happened; implementations
+  /// still reject unknown backend_options keys.
+  virtual EnumerateStats Run(const QueryContext& ctx,
                              const EnumerateRequest& request,
                              SolutionSink* sink) = 0;
 };

@@ -18,22 +18,51 @@ namespace kbiplex {
 
 /// Receives each delivered solution; Accept returning false stops the
 /// enumeration (the run then reports completed = false).
+///
+/// Threading contract: a multi-threaded run (EnumerateRequest::threads !=
+/// 1) may invoke Accept from worker threads. Calls are serialized — at
+/// most one Accept executes at a time — but they arrive on changing
+/// threads, so a sink must not rely on thread identity (thread-local
+/// state, affinity to the constructing thread). A sink declares it
+/// tolerates this by overriding ThreadCompatible() to return true; the
+/// facade deterministically rejects every threads != 1 request whose sink
+/// does not (even when the run would have fallen back to the sequential
+/// path — plan selection depends on graph and hardware, the contract must
+/// not), with an error naming SynchronizedSink as the standard remedy.
+/// All built-in sinks are thread-compatible; custom sinks default to the
+/// conservative answer.
 class SolutionSink {
  public:
   virtual ~SolutionSink() = default;
   virtual bool Accept(const Biplex& solution) = 0;
+
+  /// True iff Accept may be invoked from worker threads (serialized, one
+  /// call at a time). Defaults to false: a custom sink must opt in, or be
+  /// wrapped in SynchronizedSink, before it can serve a parallel run.
+  virtual bool ThreadCompatible() const { return false; }
 };
 
-/// Adapts a plain callback to the sink interface.
+/// Adapts a plain callback to the sink interface. Defaults to declaring
+/// thread compatibility — parallel runs invoke the callback serialized
+/// from worker threads, which plain lambdas tolerate — so the convenience
+/// entry points (Enumerator::Run(cb), QuerySession::Run(cb)) keep working
+/// with threads != 1. A callback that captures thread-affine state
+/// (thread_local caches, single-threaded framework handles) should be
+/// constructed with thread_compatible = false to get the same
+/// deterministic rejection a custom sink subclass gets.
 class CallbackSink final : public SolutionSink {
  public:
-  explicit CallbackSink(std::function<bool(const Biplex&)> fn)
-      : fn_(std::move(fn)) {}
+  explicit CallbackSink(std::function<bool(const Biplex&)> fn,
+                        bool thread_compatible = true)
+      : fn_(std::move(fn)), thread_compatible_(thread_compatible) {}
 
   bool Accept(const Biplex& solution) override { return fn_(solution); }
 
+  bool ThreadCompatible() const override { return thread_compatible_; }
+
  private:
   std::function<bool(const Biplex&)> fn_;
+  bool thread_compatible_;
 };
 
 /// Counts solutions without materializing them.
@@ -43,6 +72,8 @@ class CountingSink final : public SolutionSink {
     ++count_;
     return true;
   }
+
+  bool ThreadCompatible() const override { return true; }
 
   uint64_t count() const { return count_; }
 
@@ -60,6 +91,8 @@ class CollectingSink final : public SolutionSink {
     solutions_.push_back(solution);
     return true;
   }
+
+  bool ThreadCompatible() const override { return true; }
 
   size_t size() const { return solutions_.size(); }
 
@@ -93,6 +126,8 @@ class SynchronizedSink final : public SolutionSink {
     return !stopped_;
   }
 
+  bool ThreadCompatible() const override { return true; }
+
  private:
   std::mutex mu_;
   SolutionSink* inner_;
@@ -112,6 +147,8 @@ class StreamWriterSink final : public SolutionSink {
       : out_(out), format_(format) {}
 
   bool Accept(const Biplex& solution) override;
+
+  bool ThreadCompatible() const override { return true; }
 
   uint64_t written() const { return written_; }
 

@@ -54,8 +54,9 @@ struct ImbStats {
 using ImbCallback = std::function<bool(const Biplex&)>;
 
 /// Runs the iMB-style enumeration. Deprecated backend entry point for
-/// k >= 1: new callers should go through the Enumerator facade
-/// (api/enumerator.h) with algorithm "imb". (The k = 0 biclique reuse in
+/// k >= 1, scheduled for removal in the next API cycle: new callers
+/// should go through the Enumerator facade (api/enumerator.h) with
+/// algorithm "imb". (The k = 0 biclique reuse in
 /// analysis/biclique.cc stays on this function: the public biplex API
 /// requires budgets >= 1.)
 ImbStats RunImb(const BipartiteGraph& g, const ImbOptions& opts,

@@ -59,8 +59,9 @@ struct InflationBaselineStats {
 
 /// Enumerates maximal k-biplexes of `g` by inflating it and enumerating
 /// maximal (k+1)-plexes. Solutions are delivered as Biplex values.
-/// Deprecated backend entry point: new callers should go through the
-/// Enumerator facade (api/enumerator.h) with algorithm "inflation".
+/// Deprecated backend entry point, scheduled for removal in the next API
+/// cycle: new callers should go through the Enumerator facade
+/// (api/enumerator.h) with algorithm "inflation".
 InflationBaselineStats RunInflationBaseline(
     const BipartiteGraph& g, const InflationBaselineOptions& opts,
     const std::function<bool(const Biplex&)>& cb);

@@ -41,6 +41,20 @@ class TraversalEngine::Impl {
         }
         break;
     }
+    if (opts_.scratch != nullptr) {
+      // Adopt (or install) the session's pooled frame arena and shared
+      // EnumAlmostSat workspace so consecutive engines of one session
+      // reuse each other's warmed-up buffers.
+      auto* slot = dynamic_cast<FrameArenaSlot*>(
+          opts_.scratch->engine_state.get());
+      if (slot == nullptr) {
+        auto fresh = std::make_unique<FrameArenaSlot>();
+        slot = fresh.get();
+        opts_.scratch->engine_state = std::move(fresh);
+      }
+      frame_pool_ = &slot->pool;
+      local_ws_ = &opts_.scratch->workspace;
+    }
   }
 
   Biplex InitialSolution() const {
@@ -204,9 +218,15 @@ class TraversalEngine::Impl {
     }
   };
 
+  /// The frame arena as carried across engine lifetimes by a session's
+  /// TraversalScratch (see core/traversal_scratch.h).
+  struct FrameArenaSlot final : TraversalScratch::Slot {
+    ArenaPool<Frame> pool;
+  };
+
   std::unique_ptr<Frame> MakeFrame(Biplex h, size_t depth,
                                    const Frame* parent) {
-    std::unique_ptr<Frame> fp = frame_pool_.Acquire();
+    std::unique_ptr<Frame> fp = frame_pool_->Acquire();
     Frame& f = *fp;
     f.h = std::move(h);
     f.depth = depth;
@@ -275,7 +295,7 @@ class TraversalEngine::Impl {
     std::unique_ptr<Frame> f = std::move(stack->back());
     stack->pop_back();
     if (twohop_) ApplyBDiff(f->b_removed, /*removed=*/false);
-    frame_pool_.Release(std::move(f));
+    frame_pool_->Release(std::move(f));
   }
 
   /// Initializes conn_[w] = |Γ(w) ∩ B0| for every anchored-side vertex w.
@@ -543,7 +563,7 @@ class TraversalEngine::Impl {
       EnumAlmostSatOptions lopts = opts_.local;
       lopts.deadline = deadline_;
       lopts.adjacency = accel_;
-      lopts.workspace = &local_ws_;
+      lopts.workspace = local_ws_;
       if (opts_.exclusion) {
         lopts.excluded_anchored = &f->excl[SideIndex(side)];
       }
@@ -605,8 +625,13 @@ class TraversalEngine::Impl {
   // and the incremental |Γ(w) ∩ B| counters of the 2-hop generator.
   const AdjacencyIndex* accel_ = nullptr;
   std::unique_ptr<AdjacencyIndex> owned_accel_;
-  ArenaPool<Frame> frame_pool_;
-  EnumAlmostSatWorkspace local_ws_;
+  // The frame arena and EnumAlmostSat workspace point at the session's
+  // TraversalScratch when one is configured, else at the engine-owned
+  // fallbacks below.
+  ArenaPool<Frame> own_frame_pool_;
+  EnumAlmostSatWorkspace own_ws_;
+  ArenaPool<Frame>* frame_pool_ = &own_frame_pool_;
+  EnumAlmostSatWorkspace* local_ws_ = &own_ws_;
   bool twohop_ = false;
   std::vector<uint32_t> conn_;
 

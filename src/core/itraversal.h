@@ -50,8 +50,10 @@ class TraversalEngine {
 
 /// Convenience: enumerate all maximal k-biplexes of `g` with iTraversal
 /// (all techniques on) and return them sorted. Deprecated backend entry
-/// point: prefer Enumerator::Collect (api/enumerator.h) with algorithm
-/// "itraversal".
+/// point, scheduled for removal in the next API cycle: prefer
+/// Enumerator::Collect (api/enumerator.h) with algorithm "itraversal", or
+/// PreparedGraph + QuerySession (api/query_session.h) for repeated
+/// queries.
 std::vector<Biplex> EnumerateMaximalBiplexes(const BipartiteGraph& g, int k);
 
 }  // namespace kbiplex

@@ -24,6 +24,7 @@ LargeMbpStats EnumerateLargeMbps(const BipartiteGraph& g,
   topts.cancel = opts.cancel;
   topts.candidate_gen = opts.candidate_gen;
   topts.adjacency_accel = opts.adjacency_accel;
+  topts.scratch = opts.scratch;
 
   if (!opts.core_reduction) {
     stats.core_left = g.NumLeft();

@@ -33,6 +33,9 @@ struct LargeMbpOptions {
   /// kAuto typically engages the candidate generator here.
   CandidateGenMode candidate_gen = CandidateGenMode::kAuto;
   AdjacencyAccelMode adjacency_accel = AdjacencyAccelMode::kAuto;
+  /// Optional cross-run scratch forwarded to the traversal engine; not
+  /// owned (see core/traversal_scratch.h).
+  TraversalScratch* scratch = nullptr;
 };
 
 /// Result counters of a large-MBP run.
@@ -46,14 +49,17 @@ struct LargeMbpStats {
 
 /// Enumerates every maximal k-biplex of `g` with |L'| >= theta_left and
 /// |R'| >= theta_right, delivering them to `cb` with ids of `g`.
-/// Deprecated backend entry point: new callers should go through the
-/// Enumerator facade (api/enumerator.h) with algorithm "large-mbp".
+/// Deprecated backend entry point, scheduled for removal in the next API
+/// cycle: new callers should go through the Enumerator facade
+/// (api/enumerator.h) with algorithm "large-mbp", or PreparedGraph +
+/// QuerySession (api/query_session.h) for repeated queries.
 LargeMbpStats EnumerateLargeMbps(const BipartiteGraph& g,
                                  const LargeMbpOptions& opts,
                                  const SolutionCallback& cb);
 
-/// Convenience wrapper returning the sorted solutions. Deprecated:
-/// prefer Enumerator::Collect (api/enumerator.h).
+/// Convenience wrapper returning the sorted solutions. Deprecated,
+/// scheduled for removal in the next API cycle: prefer
+/// Enumerator::Collect (api/enumerator.h).
 std::vector<Biplex> CollectLargeMbps(const BipartiteGraph& g,
                                      const LargeMbpOptions& opts,
                                      LargeMbpStats* stats = nullptr);

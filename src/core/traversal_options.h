@@ -12,6 +12,7 @@
 
 #include "core/enum_almost_sat.h"
 #include "core/solution_store.h"
+#include "core/traversal_scratch.h"
 #include "util/cancellation.h"
 #include "util/common.h"
 
@@ -128,6 +129,12 @@ struct TraversalOptions {
   /// Bitset-adjacency acceleration (see AdjacencyAccelMode). Exact-result
   /// preserving in every mode.
   AdjacencyAccelMode adjacency_accel = AdjacencyAccelMode::kAuto;
+
+  /// Optional cross-run scratch (recursion-frame arena + EnumAlmostSat
+  /// workspace) reused by consecutive engines of one session; when null
+  /// the engine owns per-run scratch. Not owned; never shared between
+  /// concurrently running engines (see core/traversal_scratch.h).
+  TraversalScratch* scratch = nullptr;
 
   /// Uno's alternating-output trick: emit a solution before the recursive
   /// expansion at even DFS depth and after it at odd depth, which bounds

@@ -1,0 +1,42 @@
+// Cross-run scratch state of the traversal engines. A single TraversalEngine
+// already pools its recursion frames and EnumAlmostSat buffers so that one
+// run allocates nothing in steady state; a multi-query session constructs a
+// fresh engine per query, which would discard those warmed-up pools. Routing
+// queries through one caller-owned TraversalScratch carries the pools across
+// engine lifetimes, so the second and later queries of a session start with
+// every hot-path buffer already at capacity.
+//
+// A scratch belongs to exactly one logical execution stream: it may be
+// reused freely between sequential runs but never concurrently (the
+// parallel driver therefore hands its workers no scratch). The pooled
+// buffers adapt to the graph of each run, so one scratch may serve queries
+// against differently-sized graphs (e.g. per-query (θ−k)-core reductions).
+#ifndef KBIPLEX_CORE_TRAVERSAL_SCRATCH_H_
+#define KBIPLEX_CORE_TRAVERSAL_SCRATCH_H_
+
+#include <memory>
+
+#include "core/enum_almost_sat.h"
+
+namespace kbiplex {
+
+/// Caller-owned scratch reused by consecutive traversal runs.
+struct TraversalScratch {
+  /// Base of the engine-private pooled state (the recursion-frame arena;
+  /// its concrete type lives inside the engine implementation). The engine
+  /// installs its own derived slot on first use and re-adopts it on later
+  /// runs.
+  struct Slot {
+    virtual ~Slot() = default;
+  };
+
+  /// Shared EnumAlmostSat scratch vectors (see enum_almost_sat.h).
+  EnumAlmostSatWorkspace workspace;
+
+  /// Engine-private pooled state, type-erased.
+  std::unique_ptr<Slot> engine_state;
+};
+
+}  // namespace kbiplex
+
+#endif  // KBIPLEX_CORE_TRAVERSAL_SCRATCH_H_

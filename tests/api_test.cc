@@ -56,7 +56,7 @@ TEST(Registry, CapabilitiesOfBuiltins) {
 TEST(Registry, NewBackendRegistersInOneLine) {
   AlgorithmRegistry registry;  // private registry; Global() stays clean
   class NullBackend : public AlgorithmBackend {
-    EnumerateStats Run(const BipartiteGraph&, const EnumerateRequest&,
+    EnumerateStats Run(const QueryContext&, const EnumerateRequest&,
                        SolutionSink*) override {
       return {};
     }

@@ -1,11 +1,12 @@
 // kbiplex command-line tool: enumerate maximal k-biplexes of an edge-list
-// graph from the shell, through the unified Enumerator facade.
+// graph from the shell, through the prepare/execute session API.
 //
 //   kbiplex enumerate <edge-list> [--k N | --kl N --kr N] [--max N]
 //                     [--budget SECONDS] [--algo NAME] [--theta-l N]
 //                     [--theta-r N] [--threads N] [--opt KEY=VALUE]...
 //                     [--format text|json] [--quiet]
 //   kbiplex large     <edge-list> --theta-l N --theta-r N [--k N] [...]
+//   kbiplex batch     <edge-list> [--queries FILE] [--accel] [--renumber]
 //   kbiplex stats     <edge-list>
 //   kbiplex algos
 //
@@ -13,20 +14,33 @@
 // algos`); --opt passes backend-specific options through. With --format
 // json, solutions print as JSON lines and the unified run statistics
 // follow as a final JSON object on stdout, ready for scripting.
+//
+// `batch` is the amortized serving mode: the graph is prepared once
+// (optionally with an attached adjacency index and degeneracy
+// renumbering), then every line of the query file — request flags in the
+// same syntax as `enumerate`, e.g. "--algo itraversal --k 2 --max 100" —
+// executes against one QuerySession. Empty lines and lines starting with
+// '#' are skipped. Exactly one JSON stats object is printed per query
+// line; solutions themselves are not printed. --queries defaults to "-"
+// (stdin).
 #include <cctype>
 #include <cerrno>
 #include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "api/enumerator.h"
+#include "api/prepared_graph.h"
+#include "api/query_session.h"
 #include "graph/core_decomposition.h"
 #include "graph/graph_io.h"
-#include "graph/renumber.h"
 
 using namespace kbiplex;
 
@@ -36,9 +50,10 @@ struct CliArgs {
   std::string command;
   std::string path;
   EnumerateRequest request;
+  std::string queries_path = "-";  // batch query source ("-" = stdin)
   bool json = false;
   bool quiet = false;   // suppress solution lines, print counts only
-  bool accel = false;   // attach the hybrid adjacency index before running
+  bool accel = false;   // attach the hybrid adjacency index at prepare time
   bool renumber = false;  // degeneracy-renumber; ids mapped back on output
 };
 
@@ -58,10 +73,140 @@ void PrintUsage() {
                "                    [--accel] [--renumber]\n"
                "  kbiplex large <edge-list> --theta-l N --theta-r N [--k N] "
                "[--max N] [--budget S] [--quiet]\n"
+               "  kbiplex batch <edge-list> [--queries FILE|-] [--accel] "
+               "[--renumber]\n"
                "  kbiplex stats <edge-list>\n"
                "  kbiplex algos\n"
+               "batch reads one query per line (request flags, e.g. \"--algo "
+               "imb --k 1 --max 50\"),\n"
+               "prepares the graph once, and prints one JSON stats object "
+               "per query.\n"
                "algorithms: "
             << names << "\n";
+}
+
+// Strict full-token numeric parsing: trailing garbage ("5x"), a lone "-",
+// and negative values for unsigned flags are usage errors, not
+// silently-truncated or wrapped values (std::stoull("-1") would "succeed"
+// as 2^64 - 1, and std::stoi("12x") as 12).
+bool ToInt(const std::string& s, int* out) {
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(s.data(), end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+bool ToUint64(const std::string& s, uint64_t* out) {
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(s.data(), end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+bool ToSize(const std::string& s, size_t* out) {
+  uint64_t v = 0;
+  if (!ToUint64(s, &v)) return false;
+  *out = static_cast<size_t>(v);
+  return true;
+}
+
+// strtod instead of std::from_chars: the floating-point from_chars
+// overloads are still missing from some standard libraries (libc++).
+// strtod alone is too permissive ("inf", "nan", hex floats, leading
+// whitespace/'+' all parse), so the token shape is checked first: plain
+// decimal with an optional exponent only.
+bool ToDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  const char c0 = s[0];
+  if (c0 != '-' && c0 != '.' && !(c0 >= '0' && c0 <= '9')) return false;
+  for (char c : s) {
+    if (std::isalpha(static_cast<unsigned char>(c)) && c != 'e' && c != 'E') {
+      return false;
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size() || errno == ERANGE) return false;
+  *out = value;
+  return true;
+}
+
+/// Outcome of consuming one token as a request flag.
+enum class FlagParse { kConsumed, kUnknown, kError };
+
+/// Parses tokens[*i] (plus its value tokens) into `request`, the shared
+/// request-flag grammar of `enumerate`, `large`, and `batch` query lines.
+/// Advances *i past consumed tokens on kConsumed; fills `error` on kError.
+FlagParse ParseRequestFlag(const std::vector<std::string>& tokens, size_t* i,
+                           EnumerateRequest* request, std::string* error) {
+  const std::string& flag = tokens[*i];
+  auto next = [&]() -> std::optional<std::string> {
+    if (*i + 1 >= tokens.size()) return std::nullopt;
+    return tokens[++*i];
+  };
+  auto next_parsed = [&](auto parse, auto* out) -> bool {
+    auto v = next();
+    if (!v.has_value()) {
+      *error = flag + " requires a value";
+      return false;
+    }
+    if (!parse(*v, out)) {
+      *error = "invalid value for " + flag + ": '" + *v + "'";
+      return false;
+    }
+    return true;
+  };
+
+  if (flag == "--k") {
+    int k = 0;
+    if (!next_parsed(ToInt, &k)) return FlagParse::kError;
+    request->k = KPair::Uniform(k);
+  } else if (flag == "--kl") {
+    if (!next_parsed(ToInt, &request->k.left)) return FlagParse::kError;
+  } else if (flag == "--kr") {
+    if (!next_parsed(ToInt, &request->k.right)) return FlagParse::kError;
+  } else if (flag == "--max") {
+    if (!next_parsed(ToUint64, &request->max_results)) {
+      return FlagParse::kError;
+    }
+  } else if (flag == "--budget") {
+    if (!next_parsed(ToDouble, &request->time_budget_seconds)) {
+      return FlagParse::kError;
+    }
+  } else if (flag == "--theta-l") {
+    if (!next_parsed(ToSize, &request->theta_left)) return FlagParse::kError;
+  } else if (flag == "--theta-r") {
+    if (!next_parsed(ToSize, &request->theta_right)) {
+      return FlagParse::kError;
+    }
+  } else if (flag == "--threads") {
+    if (!next_parsed(ToInt, &request->threads)) return FlagParse::kError;
+    if (request->threads < 0) {
+      *error = "--threads must be >= 0 (0 = one per hardware thread)";
+      return FlagParse::kError;
+    }
+  } else if (flag == "--algo") {
+    auto v = next();
+    if (!v) {
+      *error = "--algo requires a value";
+      return FlagParse::kError;
+    }
+    request->algorithm = *v;
+  } else if (flag == "--opt") {
+    auto v = next();
+    if (!v) {
+      *error = "--opt requires a value";
+      return FlagParse::kError;
+    }
+    const size_t eq = v->find('=');
+    if (eq == std::string::npos || eq == 0) {
+      *error = "--opt expects KEY=VALUE, got: '" + *v + "'";
+      return FlagParse::kError;
+    }
+    request->backend_options[v->substr(0, eq)] = v->substr(eq + 1);
+  } else {
+    return FlagParse::kUnknown;
+  }
+  return FlagParse::kConsumed;
 }
 
 std::optional<CliArgs> Parse(int argc, char** argv) {
@@ -71,64 +216,22 @@ std::optional<CliArgs> Parse(int argc, char** argv) {
   if (args.command == "algos") return args;
   if (argc < 3) return std::nullopt;
   args.path = argv[2];
-  for (int i = 3; i < argc; ++i) {
-    const std::string flag = argv[i];
+  std::vector<std::string> tokens(argv + 3, argv + argc);
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& flag = tokens[i];
+    std::string error;
+    switch (ParseRequestFlag(tokens, &i, &args.request, &error)) {
+      case FlagParse::kConsumed:
+        continue;
+      case FlagParse::kError:
+        std::cerr << error << "\n";
+        return std::nullopt;
+      case FlagParse::kUnknown:
+        break;
+    }
     auto next = [&]() -> std::optional<std::string> {
-      if (i + 1 >= argc) return std::nullopt;
-      return std::string(argv[++i]);
-    };
-    // Parses the next argument into *out with strict full-token numeric
-    // parsing: trailing garbage ("5x"), a lone "-", and negative values
-    // for unsigned flags are usage errors, not silently-truncated or
-    // wrapped values (std::stoull("-1") would "succeed" as 2^64 - 1, and
-    // std::stoi("12x") as 12).
-    auto next_parsed = [&](auto parse, auto* out) -> bool {
-      auto v = next();
-      bool ok = v.has_value() && parse(*v, out);
-      if (!ok && v.has_value()) {
-        std::cerr << "invalid value for " << flag << ": '" << *v << "'\n";
-      } else if (!v.has_value()) {
-        std::cerr << flag << " requires a value\n";
-      }
-      return ok;
-    };
-    auto to_int = [](const std::string& s, int* out) {
-      const char* end = s.data() + s.size();
-      auto [ptr, ec] = std::from_chars(s.data(), end, *out);
-      return ec == std::errc() && ptr == end;
-    };
-    auto to_uint64 = [](const std::string& s, uint64_t* out) {
-      const char* end = s.data() + s.size();
-      auto [ptr, ec] = std::from_chars(s.data(), end, *out);
-      return ec == std::errc() && ptr == end;
-    };
-    auto to_size = [&to_uint64](const std::string& s, size_t* out) {
-      uint64_t v = 0;
-      if (!to_uint64(s, &v)) return false;
-      *out = static_cast<size_t>(v);
-      return true;
-    };
-    // strtod instead of std::from_chars: the floating-point from_chars
-    // overloads are still missing from some standard libraries (libc++).
-    // strtod alone is too permissive ("inf", "nan", hex floats, leading
-    // whitespace/'+' all parse), so the token shape is checked first:
-    // plain decimal with an optional exponent only.
-    auto to_double = [](const std::string& s, double* out) {
-      if (s.empty()) return false;
-      const char c0 = s[0];
-      if (c0 != '-' && c0 != '.' && !(c0 >= '0' && c0 <= '9')) return false;
-      for (char c : s) {
-        if (std::isalpha(static_cast<unsigned char>(c)) && c != 'e' &&
-            c != 'E') {
-          return false;
-        }
-      }
-      errno = 0;
-      char* end = nullptr;
-      const double value = std::strtod(s.c_str(), &end);
-      if (end != s.c_str() + s.size() || errno == ERANGE) return false;
-      *out = value;
-      return true;
+      if (i + 1 >= tokens.size()) return std::nullopt;
+      return tokens[++i];
     };
     if (flag == "--quiet") {
       args.quiet = true;
@@ -136,50 +239,10 @@ std::optional<CliArgs> Parse(int argc, char** argv) {
       args.accel = true;
     } else if (flag == "--renumber") {
       args.renumber = true;
-    } else if (flag == "--k") {
-      int k = 0;
-      if (!next_parsed(to_int, &k)) return std::nullopt;
-      args.request.k = KPair::Uniform(k);
-    } else if (flag == "--kl") {
-      if (!next_parsed(to_int, &args.request.k.left)) return std::nullopt;
-    } else if (flag == "--kr") {
-      if (!next_parsed(to_int, &args.request.k.right)) return std::nullopt;
-    } else if (flag == "--max") {
-      if (!next_parsed(to_uint64, &args.request.max_results)) {
-        return std::nullopt;
-      }
-    } else if (flag == "--budget") {
-      if (!next_parsed(to_double, &args.request.time_budget_seconds)) {
-        return std::nullopt;
-      }
-    } else if (flag == "--theta-l") {
-      if (!next_parsed(to_size, &args.request.theta_left)) {
-        return std::nullopt;
-      }
-    } else if (flag == "--theta-r") {
-      if (!next_parsed(to_size, &args.request.theta_right)) {
-        return std::nullopt;
-      }
-    } else if (flag == "--threads") {
-      if (!next_parsed(to_int, &args.request.threads)) return std::nullopt;
-      if (args.request.threads < 0) {
-        std::cerr << "--threads must be >= 0 (0 = one per hardware "
-                     "thread)\n";
-        return std::nullopt;
-      }
-    } else if (flag == "--algo") {
+    } else if (flag == "--queries") {
       auto v = next();
       if (!v) return std::nullopt;
-      args.request.algorithm = *v;
-    } else if (flag == "--opt") {
-      auto v = next();
-      if (!v) return std::nullopt;
-      const size_t eq = v->find('=');
-      if (eq == std::string::npos || eq == 0) {
-        std::cerr << "--opt expects KEY=VALUE, got: '" << *v << "'\n";
-        return std::nullopt;
-      }
-      args.request.backend_options[v->substr(0, eq)] = v->substr(eq + 1);
+      args.queries_path = *v;
     } else if (flag == "--format") {
       auto v = next();
       if (!v) return std::nullopt;
@@ -197,28 +260,36 @@ std::optional<CliArgs> Parse(int argc, char** argv) {
   return args;
 }
 
-int RunRequest(const CliArgs& args, const BipartiteGraph& g) {
-  // Optional degeneracy renumbering: enumerate on the permuted graph for
-  // cache locality, mapping every solution back to the input ids. The
-  // solution set is identical; only the delivery order may differ.
-  RenumberedGraph renum;
-  if (args.renumber) renum = RenumberByDegeneracy(g);
-  const BipartiteGraph& run_graph = args.renumber ? renum.graph : g;
-  Enumerator enumerator(run_graph);
+/// The prepare-time artifact policy of the CLI: no flag leaves the graph
+/// exactly as loaded (engines may still build per-run indexes under their
+/// own kAuto policy, matching the pre-session CLI byte for byte); --accel
+/// attaches the shared index unconditionally; --renumber enumerates on
+/// the degeneracy-renumbered graph with automatic map-back. The
+/// core-bound short-circuit stays off for the one-shot commands
+/// (enumerate/large answer one query — pre-session stats output,
+/// including the backend counter blocks, must not change) and on for
+/// batch, where the bound amortizes over the query stream.
+PrepareOptions PreparePolicy(const CliArgs& args, bool one_shot) {
+  PrepareOptions opts;
+  opts.adjacency_index =
+      args.accel ? AdjacencyAccelMode::kForce : AdjacencyAccelMode::kOff;
+  opts.renumber = args.renumber;
+  opts.core_bound_shortcut = !one_shot;
+  return opts;
+}
+
+int RunRequest(const CliArgs& args, BipartiteGraph g) {
+  const size_t num_vertices = g.NumVertices();
+  QuerySession session(PreparedGraph::Prepare(std::move(g),
+                                              PreparePolicy(args,
+                                                            /*one_shot=*/true)));
   StreamWriterSink writer(&std::cout,
                           args.json ? StreamWriterSink::Format::kJsonLines
                                     : StreamWriterSink::Format::kText);
   CountingSink counter;
   SolutionSink* sink =
       args.quiet ? static_cast<SolutionSink*>(&counter) : &writer;
-  CallbackSink mapper([&](const Biplex& b) {
-    VertexSetPair mapped = renum.MapBack(b.left, b.right);
-    Biplex original{std::move(mapped.left), std::move(mapped.right)};
-    return sink->Accept(original);
-  });
-  EnumerateStats stats = enumerator.Run(
-      args.request, args.renumber ? static_cast<SolutionSink*>(&mapper)
-                                  : sink);
+  EnumerateStats stats = session.Run(args.request, sink);
   if (!stats.ok()) {
     std::cerr << "error: " << stats.error << "\n";
     if (args.json) std::cout << stats.ToJson() << "\n";
@@ -234,19 +305,80 @@ int RunRequest(const CliArgs& args, const BipartiteGraph& g) {
     if (stats.large_mbp.has_value()) {
       std::fprintf(stderr, "# core %zu+%zu of %zu vertices\n",
                    stats.large_mbp->core_left, stats.large_mbp->core_right,
-                   g.NumVertices());
+                   num_vertices);
     }
   }
   return 0;
 }
 
-int CmdLarge(CliArgs args, const BipartiteGraph& g) {
+int CmdLarge(CliArgs args, BipartiteGraph g) {
   if (args.request.theta_left == 0 || args.request.theta_right == 0) {
     std::cerr << "large requires --theta-l and --theta-r\n";
     return 2;
   }
   args.request.algorithm = "large-mbp";
-  return RunRequest(args, g);
+  return RunRequest(args, std::move(g));
+}
+
+/// Parses one batch query line into a request; returns the error, if any.
+std::string ParseQueryLine(const std::string& line,
+                           EnumerateRequest* request) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) tokens.push_back(std::move(token));
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    std::string error;
+    switch (ParseRequestFlag(tokens, &i, request, &error)) {
+      case FlagParse::kConsumed:
+        break;
+      case FlagParse::kError:
+        return error;
+      case FlagParse::kUnknown:
+        return "unknown query flag: " + tokens[i];
+    }
+  }
+  return "";
+}
+
+int CmdBatch(const CliArgs& args, BipartiteGraph g) {
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (args.queries_path != "-") {
+    file.open(args.queries_path);
+    if (!file) {
+      std::cerr << "error: cannot open query file " << args.queries_path
+                << "\n";
+      return 1;
+    }
+    in = &file;
+  }
+
+  // One prepare, N executes: every artifact (index, renumbering,
+  // components, core bounds) and all engine scratch is shared across the
+  // whole batch through the session.
+  QuerySession session(PreparedGraph::Prepare(
+      std::move(g), PreparePolicy(args, /*one_shot=*/false)));
+  bool all_ok = true;
+  std::string line;
+  while (std::getline(*in, line)) {
+    const size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') continue;
+    EnumerateRequest request;
+    EnumerateStats stats;
+    if (std::string err = ParseQueryLine(line, &request); !err.empty()) {
+      stats.error = "bad query line: " + err;
+      stats.completed = false;
+    } else {
+      CountingSink counter;
+      stats = session.Run(request, &counter);
+    }
+    // Exactly one JSON stats object per query line, errors included, so
+    // scripted consumers can zip queries with results.
+    std::cout << stats.ToJson() << "\n";
+    if (!stats.ok()) all_ok = false;
+  }
+  return all_ok ? 0 : 2;
 }
 
 int CmdStats(const BipartiteGraph& g) {
@@ -289,9 +421,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   BipartiteGraph& g = *r.graph;
-  if (args->accel) g.BuildAdjacencyIndex();
-  if (args->command == "enumerate") return RunRequest(*args, g);
-  if (args->command == "large") return CmdLarge(*args, g);
+  if (args->command == "enumerate") return RunRequest(*args, std::move(g));
+  if (args->command == "large") return CmdLarge(*args, std::move(g));
+  if (args->command == "batch") return CmdBatch(*args, std::move(g));
   if (args->command == "stats") return CmdStats(g);
   PrintUsage();
   return 2;
