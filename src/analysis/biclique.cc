@@ -24,7 +24,7 @@ BicliqueEnumStats EnumerateMaximalBicliques(
   iopts.theta_right = opts.theta_right;
   iopts.max_results = opts.max_results;
   iopts.time_budget_seconds = opts.time_budget_seconds;
-  ImbStats s = RunImb(g, iopts, cb);
+  ImbStats s = ImbEngine(g, iopts).Run(cb);
   return {s.solutions, s.completed};
 }
 

@@ -105,7 +105,7 @@ DetectionResult DetectByBiplex(const FraudDataset& data, int k,
   opts.theta_right = theta_r;
   opts.max_results = budget.max_results;
   opts.time_budget_seconds = budget.time_budget_seconds;
-  EnumerateLargeMbps(data.graph, opts, [&](const Biplex& b) {
+  LargeMbpEngine(data.graph, opts).Run([&](const Biplex& b) {
     FlagBiplex(b, &out);
     return true;
   });

@@ -189,8 +189,8 @@ class TraversalBackend final : public AlgorithmBackend {
     }
 
     Delivery delivery{req, sink};
-    TraversalStats ts = RunTraversal(
-        g, opts, [&](const Biplex& b) { return delivery.Deliver(b); });
+    TraversalStats ts = TraversalEngine(g, opts).Run(
+        [&](const Biplex& b) { return delivery.Deliver(b); });
 
     EnumerateStats out;
     out.solutions = delivery.delivered;
@@ -238,8 +238,8 @@ class LargeMbpBackend final : public AlgorithmBackend {
     }
 
     Delivery delivery{req, sink};
-    LargeMbpStats ls = EnumerateLargeMbps(
-        g, opts, [&](const Biplex& b) { return delivery.Deliver(b); });
+    LargeMbpStats ls = LargeMbpEngine(g, opts).Run(
+        [&](const Biplex& b) { return delivery.Deliver(b); });
 
     EnumerateStats out;
     out.solutions = delivery.delivered;
@@ -272,8 +272,8 @@ class ImbBackend final : public AlgorithmBackend {
     }
 
     Delivery delivery{req, sink};
-    ImbStats is =
-        RunImb(g, opts, [&](const Biplex& b) { return delivery.Deliver(b); });
+    ImbStats is = ImbEngine(g, opts).Run(
+        [&](const Biplex& b) { return delivery.Deliver(b); });
 
     EnumerateStats out;
     out.solutions = delivery.delivered;
@@ -309,8 +309,8 @@ class InflationBackend final : public AlgorithmBackend {
     }
 
     Delivery delivery{req, sink};
-    InflationBaselineStats is = RunInflationBaseline(
-        g, opts, [&](const Biplex& b) { return delivery.Deliver(b); });
+    InflationBaselineStats is = InflationEngine(g, opts).Run(
+        [&](const Biplex& b) { return delivery.Deliver(b); });
 
     EnumerateStats out;
     out.solutions = delivery.delivered;

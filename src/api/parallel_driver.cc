@@ -289,8 +289,8 @@ EnumerateStats RunParallelImb(const BipartiteGraph& g,
         opts.cancel = &stop;
         opts.root_begin = static_cast<size_t>(ranges[i].first);
         opts.root_end = static_cast<size_t>(ranges[i].second);
-        ImbStats is = RunImb(
-            g, opts, [&](const Biplex& b) { return delivery.Deliver(b); });
+        ImbStats is = ImbEngine(g, opts).Run(
+            [&](const Biplex& b) { return delivery.Deliver(b); });
         EnumerateStats& s = shard_stats[i];
         s.work_units = is.nodes;
         s.completed = is.completed;
@@ -376,35 +376,34 @@ std::optional<EnumerateStats> TryRunParallelComponents(
   }
   if (num_shards < 2) return std::nullopt;
 
-  std::vector<std::vector<VertexId>> left_sets(num_shards);
-  std::vector<std::vector<VertexId>> right_sets(num_shards);
-  for (VertexId l = 0; l < g.NumLeft(); ++l) {
-    if (int s = shard_of[labels.left[l]]; s >= 0) left_sets[s].push_back(l);
-  }
-  for (VertexId r = 0; r < g.NumRight(); ++r) {
-    if (int s = shard_of[labels.right[r]]; s >= 0) {
-      right_sets[s].push_back(r);
-    }
-  }
-  std::vector<InducedSubgraph> components;
-  components.reserve(num_shards);
-  for (int s = 0; s < num_shards; ++s) {
-    components.push_back(Induce(g, left_sets[s], right_sets[s]));
+  // Every component, materialized once on the prepared graph and shared
+  // by all subsequent component-sharded queries; this query only indexes
+  // into the cache. The labeling bail-outs above keep single-component
+  // graphs (the common case) from ever paying the materialization.
+  const std::vector<InducedSubgraph>& components =
+      prepared.ComponentSubgraphs();
+  std::vector<size_t> shard_comp;  // component id of each shard
+  shard_comp.reserve(num_shards);
+  for (int c = 0; c < labels.num_components; ++c) {
+    if (shard_of[c] >= 0) shard_comp.push_back(static_cast<size_t>(c));
   }
 
   CancellationToken stop(request.cancellation);
   SharedDelivery delivery(request, sink, &stop);
   ErrorCollector errors;
-  std::vector<EnumerateStats> shard_stats(components.size());
+  std::vector<EnumerateStats> shard_stats(shard_comp.size());
   {
-    // Big components first so a straggler starts early.
-    std::sort(components.begin(), components.end(),
-              [](const InducedSubgraph& a, const InducedSubgraph& b) {
-                return a.graph.NumEdges() > b.graph.NumEdges();
+    // Big components first so a straggler starts early. The cache is
+    // shared and immutable, so order the shard index, not the subgraphs.
+    std::sort(shard_comp.begin(), shard_comp.end(),
+              [&](size_t a, size_t b) {
+                return components[a].graph.NumEdges() >
+                       components[b].graph.NumEdges();
               });
-    ThreadPool pool(std::min(threads, components.size()));
-    for (size_t i = 0; i < components.size(); ++i) {
+    ThreadPool pool(std::min(threads, shard_comp.size()));
+    for (size_t i = 0; i < shard_comp.size(); ++i) {
       SubmitGuarded(&pool, &errors, [&, i] {
+        const InducedSubgraph& component = components[shard_comp[i]];
         EnumerateRequest shard_request = request;
         shard_request.cancellation = &stop;
         shard_request.threads = 1;
@@ -415,13 +414,13 @@ std::optional<EnumerateStats> TryRunParallelComponents(
         }
         std::unique_ptr<AlgorithmBackend> backend =
             registry.Create(shard_request.algorithm);
-        MappingSink mapping(&delivery, components[i]);
+        MappingSink mapping(&delivery, component);
         // Each shard wraps its component in a borrowed prepared graph (no
         // artifacts, no scratch): workers must not share the session's
-        // single-threaded scratch, and component subgraphs are enumerated
-        // once each.
+        // single-threaded scratch, and the cached component graphs must
+        // stay untouched for the queries that follow.
         std::shared_ptr<const PreparedGraph> shard_prepared =
-            PreparedGraph::Borrow(components[i].graph);
+            PreparedGraph::Borrow(component.graph);
         QueryContext shard_ctx{shard_prepared.get(), nullptr};
         shard_stats[i] = backend->Run(shard_ctx, shard_request, &mapping);
         if (!shard_stats[i].error.empty()) {

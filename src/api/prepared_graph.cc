@@ -143,6 +143,22 @@ const ComponentLabeling& PreparedGraph::Components() const {
   return components_;
 }
 
+const std::vector<InducedSubgraph>& PreparedGraph::ComponentSubgraphs()
+    const {
+  std::call_once(component_subgraphs_once_, [this] {
+    const BipartiteGraph& g = ExecutionGraph();  // outside the timed region
+    WallTimer timer;
+    // ConnectedComponents numbers components exactly like
+    // LabelConnectedComponents (by smallest (side, id) vertex), so the
+    // result is index-aligned with Components() by construction.
+    component_subgraphs_ = ConnectedComponents(g);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.component_subgraph_builds;
+    stats_.build_seconds += timer.ElapsedSeconds();
+  });
+  return component_subgraphs_;
+}
+
 size_t PreparedGraph::MaxUniformCore() const {
   std::call_once(core_bound_once_, [this] {
     const BipartiteGraph& g = ExecutionGraph();  // outside the timed region

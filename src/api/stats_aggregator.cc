@@ -1,0 +1,143 @@
+#include "api/stats_aggregator.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/json.h"
+
+namespace kbiplex {
+
+namespace {
+
+/// Bucket 0 upper bound and the per-bucket growth factor: three buckets
+/// per factor of two, starting at 1 microsecond.
+constexpr double kFirstUpper = 1e-6;
+constexpr double kGrowth = 1.2599210498948732;  // 2^(1/3)
+
+}  // namespace
+
+size_t LatencyHistogram::BucketOf(double seconds) {
+  if (!(seconds > kFirstUpper)) return 0;
+  const double b = std::log(seconds / kFirstUpper) / std::log(kGrowth);
+  const size_t bucket = static_cast<size_t>(b) + 1;
+  return bucket < kBuckets ? bucket : kBuckets - 1;
+}
+
+double LatencyHistogram::UpperBound(size_t bucket) {
+  return kFirstUpper * std::pow(kGrowth, static_cast<double>(bucket));
+}
+
+void LatencyHistogram::Record(double seconds) {
+  ++buckets_[BucketOf(seconds)];
+  ++count_;
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  // Rank of the q-quantile, 1-based; ceil so Quantile(1.0) is the max
+  // bucket and Quantile(0.5) the median element's bucket.
+  const uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen >= rank) return UpperBound(b);
+  }
+  return UpperBound(kBuckets - 1);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (size_t b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+  count_ += other.count_;
+}
+
+void RequestAggregate::Add(const EnumerateStats& stats) {
+  ++requests;
+  if (!stats.ok()) ++errors;
+  if (!stats.completed) ++incomplete;
+  if (stats.cancelled) ++cancelled;
+  solutions += stats.solutions;
+  work_units += stats.work_units;
+  total_seconds += stats.seconds;
+}
+
+void RequestAggregate::Merge(const RequestAggregate& other) {
+  requests += other.requests;
+  errors += other.errors;
+  incomplete += other.incomplete;
+  cancelled += other.cancelled;
+  solutions += other.solutions;
+  work_units += other.work_units;
+  total_seconds += other.total_seconds;
+}
+
+void StatsAggregator::Record(const std::string& graph,
+                             const std::string& algorithm,
+                             const EnumerateStats& stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  total_.Add(stats);
+  per_graph_[graph].Add(stats);
+  AlgoAggregate& a = per_algo_[algorithm];
+  a.agg.Add(stats);
+  a.latency.Record(stats.seconds);
+}
+
+RequestAggregate StatsAggregator::Total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+namespace {
+
+void AppendAggregate(std::ostream& os, const RequestAggregate& a) {
+  os << "{\"requests\":" << a.requests << ",\"errors\":" << a.errors
+     << ",\"incomplete\":" << a.incomplete << ",\"cancelled\":" << a.cancelled
+     << ",\"solutions\":" << a.solutions << ",\"work_units\":" << a.work_units
+     << ",\"total_seconds\":";
+  json::AppendDouble(os, a.total_seconds);
+  os << "}";
+}
+
+}  // namespace
+
+std::string StatsAggregator::ToJson() const {
+  RequestAggregate total;
+  std::map<std::string, RequestAggregate> per_graph;
+  std::map<std::string, AlgoAggregate> per_algo;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    total = total_;
+    per_graph = per_graph_;
+    per_algo = per_algo_;
+  }
+  std::ostringstream os;
+  os << "{\"total\":";
+  AppendAggregate(os, total);
+  os << ",\"graphs\":{";
+  bool first = true;
+  for (const auto& [name, agg] : per_graph) {
+    if (!first) os << ",";
+    first = false;
+    json::AppendEscaped(os, name);
+    os << ":";
+    AppendAggregate(os, agg);
+  }
+  os << "},\"algorithms\":{";
+  first = true;
+  for (const auto& [name, a] : per_algo) {
+    if (!first) os << ",";
+    first = false;
+    json::AppendEscaped(os, name);
+    os << ":{\"agg\":";
+    AppendAggregate(os, a.agg);
+    os << ",\"p50_s\":";
+    json::AppendDouble(os, a.latency.Quantile(0.5));
+    os << ",\"p99_s\":";
+    json::AppendDouble(os, a.latency.Quantile(0.99));
+    os << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace kbiplex

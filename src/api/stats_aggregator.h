@@ -1,0 +1,90 @@
+// Cross-request aggregation of EnumerateStats: the serving daemon's
+// `stats` command reports, per graph and per algorithm plus server-wide,
+// the summed counters of every request it executed, and a latency
+// histogram (p50/p99) per algorithm. The aggregator is the single point
+// all worker threads record into, so its totals match the per-request
+// `done` stats by construction — a property the serving tests assert.
+#ifndef KBIPLEX_API_STATS_AGGREGATOR_H_
+#define KBIPLEX_API_STATS_AGGREGATOR_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "api/enumerate_stats.h"
+
+namespace kbiplex {
+
+/// Log-scaled latency histogram: 64 buckets spanning 1 microsecond to
+/// ~2.5 hours, each bucket covering a factor of ~1.26 (2^(1/3)), so a
+/// quantile read off the bucket boundaries is within ~26% of the true
+/// value — the right resolution for "is p99 a millisecond or a second".
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+
+  void Record(double seconds);
+
+  uint64_t count() const { return count_; }
+
+  /// The upper bound of the bucket holding the q-quantile (0 < q <= 1);
+  /// 0 when empty.
+  double Quantile(double q) const;
+
+  /// Merges another histogram into this one (bucket-wise addition).
+  void Merge(const LatencyHistogram& other);
+
+ private:
+  static size_t BucketOf(double seconds);
+  static double UpperBound(size_t bucket);
+
+  std::array<uint64_t, kBuckets> buckets_{};
+  uint64_t count_ = 0;
+};
+
+/// Summed shared-field counters of a set of EnumerateStats.
+struct RequestAggregate {
+  uint64_t requests = 0;
+  uint64_t errors = 0;       // rejected requests (non-empty stats.error)
+  uint64_t incomplete = 0;   // ran but stopped early (budget, cap, cancel)
+  uint64_t cancelled = 0;    // observed their cancellation token fire
+  uint64_t solutions = 0;
+  uint64_t work_units = 0;
+  double total_seconds = 0;  // summed per-request wall clock
+
+  void Add(const EnumerateStats& stats);
+  void Merge(const RequestAggregate& other);
+};
+
+/// Thread-safe aggregation keyed by graph name and by algorithm.
+/// Recording is a handful of additions under one mutex — negligible next
+/// to any enumeration — and snapshots copy the maps out so JSON emission
+/// happens outside the lock.
+class StatsAggregator {
+ public:
+  void Record(const std::string& graph, const std::string& algorithm,
+              const EnumerateStats& stats);
+
+  RequestAggregate Total() const;
+
+  /// {"total": {...}, "graphs": {name: {...}},
+  ///  "algorithms": {name: {..., "p50_s": x, "p99_s": y}}}
+  std::string ToJson() const;
+
+ private:
+  struct AlgoAggregate {
+    RequestAggregate agg;
+    LatencyHistogram latency;
+  };
+
+  mutable std::mutex mu_;
+  RequestAggregate total_;
+  std::map<std::string, RequestAggregate> per_graph_;
+  std::map<std::string, AlgoAggregate> per_algo_;
+};
+
+}  // namespace kbiplex
+
+#endif  // KBIPLEX_API_STATS_AGGREGATOR_H_

@@ -126,9 +126,8 @@ class ImbEnumerator {
 
 }  // namespace
 
-ImbStats RunImb(const BipartiteGraph& g, const ImbOptions& opts,
-                const ImbCallback& cb) {
-  ImbEnumerator e(g, opts, cb);
+ImbStats ImbEngine::Run(const ImbCallback& cb) {
+  ImbEnumerator e(g_, opts_, cb);
   return e.Run();
 }
 

@@ -53,14 +53,30 @@ struct ImbStats {
 /// Receives each maximal k-biplex; return false to stop.
 using ImbCallback = std::function<bool(const Biplex&)>;
 
-/// Runs the iMB-style enumeration. Deprecated backend entry point for
-/// k >= 1, scheduled for removal in the next API cycle: new callers
-/// should go through the Enumerator facade (api/enumerator.h) with
-/// algorithm "imb". (The k = 0 biclique reuse in
-/// analysis/biclique.cc stays on this function: the public biplex API
-/// requires budgets >= 1.)
-ImbStats RunImb(const BipartiteGraph& g, const ImbOptions& opts,
-                const ImbCallback& cb);
+/// iMB-style enumerator. Mirrors TraversalEngine: construct once against
+/// a graph, then Run per query (each call is a fresh enumeration).
+/// External callers with k >= 1 should go through the Enumerator facade
+/// (api/enumerator.h, algorithm "imb"); the k = 0 biclique reuse in
+/// analysis/biclique.cc constructs the engine directly, because the
+/// public biplex API requires budgets >= 1.
+class ImbEngine {
+ public:
+  /// `g` must outlive the engine; `opts` is copied (the cancel pointer it
+  /// carries must stay valid for every Run).
+  ImbEngine(const BipartiteGraph& g, const ImbOptions& opts)
+      : g_(g), opts_(opts) {}
+
+  ImbEngine(const ImbEngine&) = delete;
+  ImbEngine& operator=(const ImbEngine&) = delete;
+
+  /// Runs the set-enumeration over the configured root-branch shard,
+  /// delivering every maximal k-biplex exactly once.
+  ImbStats Run(const ImbCallback& cb);
+
+ private:
+  const BipartiteGraph& g_;
+  ImbOptions opts_;
+};
 
 }  // namespace kbiplex
 

@@ -65,25 +65,24 @@ bool EnumAlmostSatByInflation(const BipartiteGraph& g, const Biplex& h,
   return keep_going;
 }
 
-InflationBaselineStats RunInflationBaseline(
-    const BipartiteGraph& g, const InflationBaselineOptions& opts,
+InflationBaselineStats InflationEngine::Run(
     const std::function<bool(const Biplex&)>& cb) {
   InflationBaselineStats stats;
   WallTimer timer;
-  stats.inflated_edges = InflatedEdgeCount(g);
-  if (opts.max_inflated_edges != 0 &&
-      stats.inflated_edges > opts.max_inflated_edges) {
+  stats.inflated_edges = InflatedEdgeCount(g_);
+  if (opts_.max_inflated_edges != 0 &&
+      stats.inflated_edges > opts_.max_inflated_edges) {
     stats.completed = false;
     stats.out_of_budget = true;
     stats.seconds = timer.ElapsedSeconds();
     return stats;
   }
-  InflatedGraph inflated = Inflate(g);
+  InflatedGraph inflated = Inflate(g_);
   KPlexEnumOptions kopts;
-  kopts.p = opts.k + 1;
-  kopts.max_results = opts.max_results;
-  kopts.time_budget_seconds = opts.time_budget_seconds;
-  kopts.cancel = opts.cancel;
+  kopts.p = opts_.k + 1;
+  kopts.max_results = opts_.max_results;
+  kopts.time_budget_seconds = opts_.time_budget_seconds;
+  kopts.cancel = opts_.cancel;
   KPlexEnumStats ks = EnumerateMaximalKPlexes(
       inflated.graph, kopts, [&](const std::vector<VertexId>& set) {
         Biplex b = SplitInflatedSet(inflated, set, nullptr, nullptr);

@@ -4,8 +4,8 @@
 //     EnumAlmostSat procedure compared in Figure 12 — materialize the
 //     almost-satisfying subgraph, inflate it, and enumerate the maximal
 //     (k+1)-plexes containing v.
-// (2) RunInflationBaseline: the FaPlexen-style global baseline — inflate
-//     the whole bipartite graph and enumerate all maximal (k+1)-plexes,
+// (2) InflationEngine: the FaPlexen-style global baseline — inflate the
+//     whole bipartite graph and enumerate all maximal (k+1)-plexes,
 //     which correspond one-to-one to maximal k-biplexes.
 #ifndef KBIPLEX_BASELINES_INFLATION_ENUM_H_
 #define KBIPLEX_BASELINES_INFLATION_ENUM_H_
@@ -57,14 +57,29 @@ struct InflationBaselineStats {
   double seconds = 0;
 };
 
-/// Enumerates maximal k-biplexes of `g` by inflating it and enumerating
-/// maximal (k+1)-plexes. Solutions are delivered as Biplex values.
-/// Deprecated backend entry point, scheduled for removal in the next API
-/// cycle: new callers should go through the Enumerator facade
-/// (api/enumerator.h) with algorithm "inflation".
-InflationBaselineStats RunInflationBaseline(
-    const BipartiteGraph& g, const InflationBaselineOptions& opts,
-    const std::function<bool(const Biplex&)>& cb);
+/// Global inflation enumerator. Mirrors TraversalEngine: construct once
+/// against a graph, then Run per query (each call is a fresh
+/// enumeration). External callers should go through the Enumerator
+/// facade (api/enumerator.h, algorithm "inflation").
+class InflationEngine {
+ public:
+  /// `g` must outlive the engine; `opts` is copied (the cancel pointer it
+  /// carries must stay valid for every Run).
+  InflationEngine(const BipartiteGraph& g,
+                  const InflationBaselineOptions& opts)
+      : g_(g), opts_(opts) {}
+
+  InflationEngine(const InflationEngine&) = delete;
+  InflationEngine& operator=(const InflationEngine&) = delete;
+
+  /// Enumerates maximal k-biplexes of the graph by inflating it and
+  /// enumerating maximal (k+1)-plexes; solutions arrive as Biplex values.
+  InflationBaselineStats Run(const std::function<bool(const Biplex&)>& cb);
+
+ private:
+  const BipartiteGraph& g_;
+  InflationBaselineOptions opts_;
+};
 
 }  // namespace kbiplex
 

@@ -1,7 +1,5 @@
 #include "core/btraversal.h"
 
-#include <algorithm>
-
 namespace kbiplex {
 
 TraversalOptions MakeBTraversalOptions(int k) {
@@ -45,26 +43,6 @@ std::string TraversalConfigName(const TraversalOptions& opts) {
   if (opts.left_anchored && opts.right_shrinking) return "iTraversal-ES";
   if (opts.left_anchored) return "iTraversal-ES-RS";
   return "custom";
-}
-
-TraversalStats RunTraversal(const BipartiteGraph& g,
-                            const TraversalOptions& opts,
-                            const SolutionCallback& cb) {
-  TraversalEngine engine(g, opts);
-  return engine.Run(cb);
-}
-
-std::vector<Biplex> CollectSolutions(const BipartiteGraph& g,
-                                     const TraversalOptions& opts,
-                                     TraversalStats* stats) {
-  std::vector<Biplex> out;
-  TraversalStats s = RunTraversal(g, opts, [&](const Biplex& b) {
-    out.push_back(b);
-    return true;
-  });
-  if (stats != nullptr) *stats = s;
-  std::sort(out.begin(), out.end());
-  return out;
 }
 
 }  // namespace kbiplex

@@ -30,22 +30,6 @@ TraversalOptions MakeITraversalLeftAnchoredOnlyOptions(int k);
 /// "iTraversal-ES", "iTraversal-ES-RS", or "custom").
 std::string TraversalConfigName(const TraversalOptions& opts);
 
-/// Runs the engine once and returns its stats; solutions go to `cb`.
-/// Deprecated backend entry point, scheduled for removal in the next API
-/// cycle: new callers should go through the Enumerator facade
-/// (api/enumerator.h) with algorithm "itraversal", "itraversal-es",
-/// "itraversal-es-rs", or "btraversal".
-TraversalStats RunTraversal(const BipartiteGraph& g,
-                            const TraversalOptions& opts,
-                            const SolutionCallback& cb);
-
-/// Runs the engine once and returns all emitted solutions, sorted.
-/// Deprecated backend entry point, scheduled for removal in the next API
-/// cycle: prefer Enumerator::Collect (api/enumerator.h).
-std::vector<Biplex> CollectSolutions(const BipartiteGraph& g,
-                                     const TraversalOptions& opts,
-                                     TraversalStats* stats = nullptr);
-
 }  // namespace kbiplex
 
 #endif  // KBIPLEX_CORE_BTRAVERSAL_H_

@@ -652,18 +652,4 @@ Biplex TraversalEngine::InitialSolution() const {
   return impl_->InitialSolution();
 }
 
-std::vector<Biplex> EnumerateMaximalBiplexes(const BipartiteGraph& g,
-                                             int k) {
-  TraversalOptions opts;
-  opts.k = KPair::Uniform(k);
-  TraversalEngine engine(g, opts);
-  std::vector<Biplex> out;
-  engine.Run([&](const Biplex& b) {
-    out.push_back(b);
-    return true;
-  });
-  std::sort(out.begin(), out.end());
-  return out;
-}
-
 }  // namespace kbiplex

@@ -48,14 +48,6 @@ class TraversalEngine {
   std::unique_ptr<Impl> impl_;
 };
 
-/// Convenience: enumerate all maximal k-biplexes of `g` with iTraversal
-/// (all techniques on) and return them sorted. Deprecated backend entry
-/// point, scheduled for removal in the next API cycle: prefer
-/// Enumerator::Collect (api/enumerator.h) with algorithm "itraversal", or
-/// PreparedGraph + QuerySession (api/query_session.h) for repeated
-/// queries.
-std::vector<Biplex> EnumerateMaximalBiplexes(const BipartiteGraph& g, int k);
-
 }  // namespace kbiplex
 
 #endif  // KBIPLEX_CORE_ITRAVERSAL_H_

@@ -1,35 +1,31 @@
 #include "core/large_mbp.h"
 
-#include <algorithm>
-
 #include "core/btraversal.h"
 #include "graph/core_decomposition.h"
 #include "util/timer.h"
 
 namespace kbiplex {
 
-LargeMbpStats EnumerateLargeMbps(const BipartiteGraph& g,
-                                 const LargeMbpOptions& opts,
-                                 const SolutionCallback& cb) {
+LargeMbpStats LargeMbpEngine::Run(const SolutionCallback& cb) {
   LargeMbpStats stats;
   WallTimer timer;
 
   TraversalOptions topts = MakeITraversalOptions(1);
-  topts.k = opts.k;
-  topts.theta_left = opts.theta_left;
-  topts.theta_right = opts.theta_right;
+  topts.k = opts_.k;
+  topts.theta_left = opts_.theta_left;
+  topts.theta_right = opts_.theta_right;
   topts.prune_small = true;
-  topts.max_results = opts.max_results;
-  topts.time_budget_seconds = opts.time_budget_seconds;
-  topts.cancel = opts.cancel;
-  topts.candidate_gen = opts.candidate_gen;
-  topts.adjacency_accel = opts.adjacency_accel;
-  topts.scratch = opts.scratch;
+  topts.max_results = opts_.max_results;
+  topts.time_budget_seconds = opts_.time_budget_seconds;
+  topts.cancel = opts_.cancel;
+  topts.candidate_gen = opts_.candidate_gen;
+  topts.adjacency_accel = opts_.adjacency_accel;
+  topts.scratch = opts_.scratch;
 
-  if (!opts.core_reduction) {
-    stats.core_left = g.NumLeft();
-    stats.core_right = g.NumRight();
-    TraversalEngine engine(g, topts);
+  if (!opts_.core_reduction) {
+    stats.core_left = g_.NumLeft();
+    stats.core_right = g_.NumRight();
+    TraversalEngine engine(g_, topts);
     stats.traversal = engine.Run(cb);
     stats.completed = stats.traversal.completed;
     stats.seconds = timer.ElapsedSeconds();
@@ -40,15 +36,15 @@ LargeMbpStats EnumerateLargeMbps(const BipartiteGraph& g,
   // keeps >= θ_right − k right neighbors and vice versa, and adding any
   // eligible outside vertex would extend the core (Section 6.1). So we may
   // enumerate on the reduced subgraph and translate ids back.
-  const size_t kl = static_cast<size_t>(opts.k.left);
-  const size_t kr = static_cast<size_t>(opts.k.right);
-  const size_t alpha = opts.theta_right > kl ? opts.theta_right - kl : 0;
-  const size_t beta = opts.theta_left > kr ? opts.theta_left - kr : 0;
-  InducedSubgraph core = AlphaBetaCoreSubgraph(g, alpha, beta);
+  const size_t kl = static_cast<size_t>(opts_.k.left);
+  const size_t kr = static_cast<size_t>(opts_.k.right);
+  const size_t alpha = opts_.theta_right > kl ? opts_.theta_right - kl : 0;
+  const size_t beta = opts_.theta_left > kr ? opts_.theta_left - kr : 0;
+  InducedSubgraph core = AlphaBetaCoreSubgraph(g_, alpha, beta);
   stats.core_left = core.graph.NumLeft();
   stats.core_right = core.graph.NumRight();
-  if (core.graph.NumLeft() < opts.theta_left ||
-      core.graph.NumRight() < opts.theta_right) {
+  if (core.graph.NumLeft() < opts_.theta_left ||
+      core.graph.NumRight() < opts_.theta_right) {
     stats.seconds = timer.ElapsedSeconds();
     return stats;  // no large MBP can exist
   }
@@ -66,19 +62,6 @@ LargeMbpStats EnumerateLargeMbps(const BipartiteGraph& g,
   stats.completed = stats.traversal.completed;
   stats.seconds = timer.ElapsedSeconds();
   return stats;
-}
-
-std::vector<Biplex> CollectLargeMbps(const BipartiteGraph& g,
-                                     const LargeMbpOptions& opts,
-                                     LargeMbpStats* stats) {
-  std::vector<Biplex> out;
-  LargeMbpStats s = EnumerateLargeMbps(g, opts, [&](const Biplex& b) {
-    out.push_back(b);
-    return true;
-  });
-  if (stats != nullptr) *stats = s;
-  std::sort(out.begin(), out.end());
-  return out;
 }
 
 }  // namespace kbiplex

@@ -47,22 +47,31 @@ struct LargeMbpStats {
   double seconds = 0;
 };
 
-/// Enumerates every maximal k-biplex of `g` with |L'| >= theta_left and
-/// |R'| >= theta_right, delivering them to `cb` with ids of `g`.
-/// Deprecated backend entry point, scheduled for removal in the next API
-/// cycle: new callers should go through the Enumerator facade
-/// (api/enumerator.h) with algorithm "large-mbp", or PreparedGraph +
-/// QuerySession (api/query_session.h) for repeated queries.
-LargeMbpStats EnumerateLargeMbps(const BipartiteGraph& g,
-                                 const LargeMbpOptions& opts,
-                                 const SolutionCallback& cb);
+/// Large-MBP enumerator: (θ−k)-core pre-reduction plus size-constrained
+/// traversal. Mirrors TraversalEngine: construct once against a graph,
+/// then Run per query. External callers should go through the Enumerator
+/// facade (api/enumerator.h, algorithm "large-mbp") or PreparedGraph +
+/// QuerySession (api/query_session.h); the engine itself is the backend
+/// building block those layers compose.
+class LargeMbpEngine {
+ public:
+  /// `g` must outlive the engine; `opts` is copied (the cancel/scratch
+  /// pointers it carries must stay valid for every Run).
+  LargeMbpEngine(const BipartiteGraph& g, const LargeMbpOptions& opts)
+      : g_(g), opts_(opts) {}
 
-/// Convenience wrapper returning the sorted solutions. Deprecated,
-/// scheduled for removal in the next API cycle: prefer
-/// Enumerator::Collect (api/enumerator.h).
-std::vector<Biplex> CollectLargeMbps(const BipartiteGraph& g,
-                                     const LargeMbpOptions& opts,
-                                     LargeMbpStats* stats = nullptr);
+  LargeMbpEngine(const LargeMbpEngine&) = delete;
+  LargeMbpEngine& operator=(const LargeMbpEngine&) = delete;
+
+  /// Enumerates every maximal k-biplex of the graph with |L'| >=
+  /// theta_left and |R'| >= theta_right, delivering them to `cb` with ids
+  /// of the original graph. Reentrant: each call is a fresh enumeration.
+  LargeMbpStats Run(const SolutionCallback& cb);
+
+ private:
+  const BipartiteGraph& g_;
+  LargeMbpOptions opts_;
+};
 
 }  // namespace kbiplex
 

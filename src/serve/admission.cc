@@ -1,0 +1,59 @@
+#include "serve/admission.h"
+
+#include <utility>
+
+namespace kbiplex {
+namespace serve {
+
+AdmissionQueue::Outcome AdmissionQueue::Push(Job job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      ++rejected_closed_;
+      return Outcome::kClosed;
+    }
+    if (queue_.size() >= capacity_) {
+      ++rejected_overload_;
+      return Outcome::kOverloaded;
+    }
+    queue_.push_back(std::move(job));
+    ++admitted_;
+  }
+  cv_.notify_one();
+  return Outcome::kAccepted;
+}
+
+bool AdmissionQueue::Pop(Job* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return false;  // closed and drained
+  *out = std::move(queue_.front());
+  queue_.pop_front();
+  return true;
+}
+
+void AdmissionQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+AdmissionQueue::Counters AdmissionQueue::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {admitted_, rejected_overload_, rejected_closed_, queue_.size()};
+}
+
+size_t AdmissionQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+bool AdmissionQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+}  // namespace serve
+}  // namespace kbiplex

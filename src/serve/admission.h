@@ -1,0 +1,69 @@
+// Admission control of the serving daemon: a bounded FIFO of pending
+// query jobs. Connection threads push, worker threads pop; a full queue
+// rejects immediately (the 429 path — queueing further work would only
+// grow tail latency without bound), and a closed queue rejects new work
+// while letting workers drain what was already admitted (the graceful
+// half of shutdown).
+#ifndef KBIPLEX_SERVE_ADMISSION_H_
+#define KBIPLEX_SERVE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+namespace kbiplex {
+namespace serve {
+
+/// Per-worker mutable state (the QuerySession cache); defined by the
+/// server. Jobs receive the context of whichever worker pops them.
+struct WorkerContext;
+
+class AdmissionQueue {
+ public:
+  using Job = std::function<void(WorkerContext&)>;
+
+  enum class Outcome {
+    kAccepted,    // job queued; a worker will run it
+    kOverloaded,  // queue at capacity — reject with 429
+    kClosed,      // draining — reject with 503
+  };
+
+  explicit AdmissionQueue(size_t capacity) : capacity_(capacity) {}
+
+  Outcome Push(Job job);
+
+  /// Blocks until a job is available or the queue is closed and empty;
+  /// false means "no more work, worker should exit".
+  bool Pop(Job* out);
+
+  /// Stops admitting; queued jobs still drain through Pop. Idempotent.
+  void Close();
+
+  struct Counters {
+    uint64_t admitted = 0;
+    uint64_t rejected_overload = 0;
+    uint64_t rejected_closed = 0;
+    size_t depth = 0;  // currently queued (not yet popped)
+  };
+  Counters counters() const;
+
+  size_t depth() const;
+  bool closed() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Job> queue_;
+  const size_t capacity_;
+  bool closed_ = false;
+  uint64_t admitted_ = 0;
+  uint64_t rejected_overload_ = 0;
+  uint64_t rejected_closed_ = 0;
+};
+
+}  // namespace serve
+}  // namespace kbiplex
+
+#endif  // KBIPLEX_SERVE_ADMISSION_H_

@@ -1,0 +1,45 @@
+// A minimal blocking NDJSON line client for kbiplexd: connect, send a
+// line, read response lines until the terminal one. Shared by the
+// kbiplex-client tool and the in-process serving tests so both exercise
+// the daemon through a real socket, not a shortcut.
+#ifndef KBIPLEX_SERVE_CLIENT_H_
+#define KBIPLEX_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace kbiplex {
+namespace serve {
+
+class LineClient {
+ public:
+  LineClient() = default;
+  ~LineClient();
+
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  /// Connects to `host:port` (host is a dotted-quad, typically
+  /// 127.0.0.1). Returns the error message, empty on success.
+  std::string Connect(const std::string& host, uint16_t port);
+
+  /// Sends `line` plus the newline frame; false once the peer is gone.
+  bool SendLine(const std::string& line);
+
+  /// Blocks for the next line (without its newline); false on EOF or
+  /// error.
+  bool ReadLine(std::string* line);
+
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace serve
+}  // namespace kbiplex
+
+#endif  // KBIPLEX_SERVE_CLIENT_H_

@@ -1,0 +1,60 @@
+#include "serve/graph_registry.h"
+
+#include <utility>
+
+#include "graph/graph_io.h"
+
+namespace kbiplex {
+namespace serve {
+
+std::string GraphRegistry::LoadFile(const std::string& name,
+                                    const std::string& path,
+                                    const PrepareOptions& options) {
+  LoadResult r = LoadEdgeList(path);
+  if (!r.ok()) return r.error;
+  RegisteredGraph entry;
+  entry.prepared = PreparedGraph::Prepare(std::move(*r.graph), options);
+  entry.path = path;
+  Put(name, std::move(entry));
+  return "";
+}
+
+void GraphRegistry::Add(const std::string& name, BipartiteGraph graph,
+                        const PrepareOptions& options) {
+  RegisteredGraph entry;
+  entry.prepared = PreparedGraph::Prepare(std::move(graph), options);
+  Put(name, std::move(entry));
+}
+
+void GraphRegistry::Put(const std::string& name, RegisteredGraph entry) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  entry.generation = next_generation_++;
+  graphs_[name] = std::move(entry);
+}
+
+bool GraphRegistry::Evict(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return graphs_.erase(name) != 0;
+}
+
+std::optional<RegisteredGraph> GraphRegistry::Get(
+    const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const auto it = graphs_.find(name);
+  if (it == graphs_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::pair<std::string, RegisteredGraph>> GraphRegistry::List()
+    const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return {graphs_.begin(), graphs_.end()};
+}
+
+size_t GraphRegistry::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return graphs_.size();
+}
+
+}  // namespace serve
+}  // namespace kbiplex

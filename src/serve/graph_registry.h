@@ -1,0 +1,74 @@
+// Named multi-graph registry of the serving daemon: maps graph names to
+// shared PreparedGraphs under a reader/writer lock, so any number of
+// concurrent queries resolve their target graph without contending with
+// each other, and loads/evicts are rare exclusive writes.
+//
+// Eviction and reload are generation-based: each successful (re)load
+// bumps a registry-wide generation counter, and workers key their cached
+// QuerySessions on (name, generation). An evicted or replaced graph's
+// PreparedGraph stays alive — shared_ptr — until the last in-flight query
+// over it finishes; stale worker sessions simply miss on the next lookup
+// and are rebuilt against the new generation.
+#ifndef KBIPLEX_SERVE_GRAPH_REGISTRY_H_
+#define KBIPLEX_SERVE_GRAPH_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "api/prepared_graph.h"
+#include "graph/bipartite_graph.h"
+
+namespace kbiplex {
+namespace serve {
+
+/// One registered graph: the shared artifact holder plus the metadata the
+/// `list` command reports.
+struct RegisteredGraph {
+  std::shared_ptr<const PreparedGraph> prepared;
+  uint64_t generation = 0;  // unique per (re)load; session-cache key
+  std::string path;         // source path ("" for graphs added in-process)
+};
+
+class GraphRegistry {
+ public:
+  /// Loads an edge list from `path` and registers it under `name`,
+  /// replacing any previous graph of that name (its generation changes).
+  /// Returns the error message, empty on success. The load and prepare
+  /// run outside the lock: concurrent queries are never blocked behind
+  /// file I/O.
+  std::string LoadFile(const std::string& name, const std::string& path,
+                       const PrepareOptions& options);
+
+  /// Registers an already-built graph (daemon preload, tests).
+  void Add(const std::string& name, BipartiteGraph graph,
+           const PrepareOptions& options);
+
+  /// Removes `name`; returns false when it was not registered. In-flight
+  /// queries holding the shared_ptr keep running to completion.
+  bool Evict(const std::string& name);
+
+  /// Resolves `name`; nullopt when unknown.
+  std::optional<RegisteredGraph> Get(const std::string& name) const;
+
+  /// Snapshot of every registered graph, sorted by name.
+  std::vector<std::pair<std::string, RegisteredGraph>> List() const;
+
+  size_t size() const;
+
+ private:
+  void Put(const std::string& name, RegisteredGraph entry);
+
+  mutable std::shared_mutex mu_;
+  std::map<std::string, RegisteredGraph> graphs_;
+  uint64_t next_generation_ = 1;
+};
+
+}  // namespace serve
+}  // namespace kbiplex
+
+#endif  // KBIPLEX_SERVE_GRAPH_REGISTRY_H_

@@ -1,0 +1,83 @@
+// A small JSON document model and recursive-descent parser. The wire
+// protocol of the serving daemon (serve/) is line-delimited JSON, and the
+// library must parse requests without external dependencies; this header
+// is the read-side counterpart of the emission helpers in util/json.h.
+//
+// The parser accepts strict RFC 8259 JSON (no comments, no trailing
+// commas) with two deliberate limits that match the NDJSON use case:
+// documents nest at most kMaxDepth levels, and numbers are surfaced as
+// double (wire requests carry small integers and seconds, both exact in a
+// double well past the ranges the protocol uses).
+#ifndef KBIPLEX_UTIL_JSON_VALUE_H_
+#define KBIPLEX_UTIL_JSON_VALUE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace kbiplex {
+namespace json {
+
+/// One parsed JSON value. Object members keep their source order so
+/// error messages and re-serialization stay readable.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() = default;  // null
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; calling the wrong one is a programming error
+  /// (callers check type() / the is_*() helpers first).
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+  const std::vector<JsonValue>& AsArray() const { return array_; }
+  const std::vector<Member>& AsObject() const { return object_; }
+
+  /// Member lookup on an object; null when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Construction helpers used by the parser and by tests.
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue MakeBool(bool b);
+  static JsonValue MakeNumber(double d);
+  static JsonValue MakeString(std::string s);
+  static JsonValue MakeArray(std::vector<JsonValue> items);
+  static JsonValue MakeObject(std::vector<Member> members);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<Member> object_;
+};
+
+/// Outcome of a parse: a value, or a position-annotated error.
+struct ParseResult {
+  JsonValue value;
+  std::string error;  // non-empty iff the parse failed
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Parses one complete JSON document from `text`; trailing content other
+/// than whitespace is an error (NDJSON framing already split the lines).
+ParseResult Parse(const std::string& text);
+
+}  // namespace json
+}  // namespace kbiplex
+
+#endif  // KBIPLEX_UTIL_JSON_VALUE_H_

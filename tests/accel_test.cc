@@ -19,6 +19,7 @@
 namespace kbiplex {
 namespace {
 
+using testing_support::CollectWith;
 using testing_support::MakeGraph;
 using testing_support::MakeRandomGraph;
 using testing_support::RandomGraphCase;
@@ -264,13 +265,13 @@ TEST(TwoHopCandidates, EngagesOnlyUnderTheGate) {
   gated.prune_small = true;
   gated.candidate_gen = CandidateGenMode::kAuto;
   TraversalStats with;
-  CollectSolutions(g, gated, &with);
+  CollectWith(g, gated, &with);
 
   gated.candidate_gen = CandidateGenMode::kScan;
   TraversalStats without;
-  std::vector<Biplex> scan_sols = CollectSolutions(g, gated, &without);
+  std::vector<Biplex> scan_sols = CollectWith(g, gated, &without);
   gated.candidate_gen = CandidateGenMode::kTwoHop;
-  EXPECT_EQ(CollectSolutions(g, gated, nullptr), scan_sols);
+  EXPECT_EQ(CollectWith(g, gated, nullptr), scan_sols);
 
   // The generator materializes strictly fewer candidates than the scan
   // examines (the scan counts every non-member of the side per frame).
@@ -282,10 +283,10 @@ TEST(TwoHopCandidates, EngagesOnlyUnderTheGate) {
   TraversalOptions ungated = MakeITraversalOptions(1);
   ungated.candidate_gen = CandidateGenMode::kTwoHop;
   TraversalStats t_ungated;
-  std::vector<Biplex> a = CollectSolutions(g, ungated, &t_ungated);
+  std::vector<Biplex> a = CollectWith(g, ungated, &t_ungated);
   ungated.candidate_gen = CandidateGenMode::kScan;
   TraversalStats t_scan;
-  std::vector<Biplex> b = CollectSolutions(g, ungated, &t_scan);
+  std::vector<Biplex> b = CollectWith(g, ungated, &t_scan);
   EXPECT_EQ(a, b);
   EXPECT_EQ(t_ungated.candidates_generated, t_scan.candidates_generated);
 }
@@ -300,9 +301,9 @@ TEST(TwoHopCandidates, RightAnchoredTraversalAgreesToo) {
     opts.prune_small = true;
     opts.candidate_gen = mode;
     if (mode == CandidateGenMode::kScan) {
-      scan_result = CollectSolutions(g, opts);
+      scan_result = CollectWith(g, opts);
     } else {
-      EXPECT_EQ(CollectSolutions(g, opts), scan_result);
+      EXPECT_EQ(CollectWith(g, opts), scan_result);
     }
   }
 }

@@ -16,6 +16,8 @@
 namespace kbiplex {
 namespace {
 
+using testing_support::CollectWith;
+using testing_support::CollectLargeWith;
 using testing_support::MakeGraph;
 using testing_support::MakeRandomGraph;
 using testing_support::ToString;
@@ -67,7 +69,7 @@ TEST_P(AsymmetricSweep, AllEngineConfigsMatchOracle) {
        {MakeBTraversalOptions(1), MakeITraversalLeftAnchoredOnlyOptions(1),
         MakeITraversalNoExclusionOptions(1), MakeITraversalOptions(1)}) {
     opts.k = k;
-    auto got = CollectSolutions(g, opts);
+    auto got = CollectWith(g, opts);
     ASSERT_EQ(got, expect)
         << TraversalConfigName(opts) << " k=(" << k.left << "," << k.right
         << ") seed=" << seed << "\ngot:\n"
@@ -89,7 +91,7 @@ TEST(AsymmetricSweepRightAnchor, MatchesOracle) {
     TraversalOptions opts = MakeITraversalOptions(1);
     opts.k = k;
     opts.anchored_side = Side::kRight;
-    ASSERT_EQ(CollectSolutions(g, opts), expect) << "seed=" << seed;
+    ASSERT_EQ(CollectWith(g, opts), expect) << "seed=" << seed;
   }
 }
 
@@ -146,7 +148,7 @@ TEST(AsymmetricLargeMbp, MatchesFilteredOracle) {
     opts.k = k;
     opts.theta_left = 2;
     opts.theta_right = 2;
-    auto got = CollectLargeMbps(g, opts);
+    auto got = CollectLargeWith(g, opts);
     auto expect =
         FilterBySize(BruteForceMaximalBiplexes(g, k), 2, 2);
     ASSERT_EQ(got, expect) << "seed=" << seed;

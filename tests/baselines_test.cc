@@ -201,7 +201,7 @@ TEST_P(InflationBaselineSweep, MatchesBruteForce) {
     std::vector<Biplex> got;
     InflationBaselineOptions opts;
     opts.k = k;
-    auto stats = RunInflationBaseline(g, opts, [&](const Biplex& b) {
+    auto stats = InflationEngine(g, opts).Run([&](const Biplex& b) {
       got.push_back(b);
       return true;
     });
@@ -221,7 +221,7 @@ TEST(InflationBaseline, OutGuardTriggers) {
   InflationBaselineOptions opts;
   opts.k = 1;
   opts.max_inflated_edges = 1000;  // far below the ~10200 required
-  auto stats = RunInflationBaseline(g, opts, [](const Biplex&) {
+  auto stats = InflationEngine(g, opts).Run([](const Biplex&) {
     ADD_FAILURE() << "should not produce solutions";
     return true;
   });
@@ -241,7 +241,7 @@ TEST_P(ImbSweep, MatchesBruteForce) {
   std::vector<Biplex> got;
   ImbOptions opts;
   opts.k = k;
-  ImbStats stats = RunImb(g, opts, [&](const Biplex& b) {
+  ImbStats stats = ImbEngine(g, opts).Run([&](const Biplex& b) {
     got.push_back(b);
     return true;
   });
@@ -264,7 +264,7 @@ TEST(Imb, SizeConstraintsFilterAndPrune) {
   opts.theta_left = 2;
   opts.theta_right = 3;
   std::vector<Biplex> got;
-  ImbStats constrained = RunImb(g, opts, [&](const Biplex& b) {
+  ImbStats constrained = ImbEngine(g, opts).Run([&](const Biplex& b) {
     got.push_back(b);
     return true;
   });
@@ -273,7 +273,7 @@ TEST(Imb, SizeConstraintsFilterAndPrune) {
   // Pruning must not expand the search tree.
   ImbOptions unconstrained;
   unconstrained.k = 1;
-  ImbStats full = RunImb(g, unconstrained, [](const Biplex&) { return true; });
+  ImbStats full = ImbEngine(g, unconstrained).Run([](const Biplex&) { return true; });
   EXPECT_LE(constrained.nodes, full.nodes);
 }
 
@@ -283,7 +283,7 @@ TEST(Imb, MaxResultsStops) {
   opts.k = 1;
   opts.max_results = 2;
   size_t count = 0;
-  ImbStats stats = RunImb(g, opts, [&](const Biplex&) {
+  ImbStats stats = ImbEngine(g, opts).Run([&](const Biplex&) {
     ++count;
     return true;
   });

@@ -20,6 +20,7 @@
 namespace kbiplex {
 namespace {
 
+using testing_support::CollectWith;
 using testing_support::MakeRandomGraph;
 
 // ------------------------------------------------ stats accounting --------
@@ -34,7 +35,7 @@ TEST(StatsAccounting, LinkIdentityHoldsAcrossConfigs) {
          {MakeBTraversalOptions(1), MakeITraversalLeftAnchoredOnlyOptions(1),
           MakeITraversalNoExclusionOptions(1), MakeITraversalOptions(1)}) {
       TraversalStats stats;
-      CollectSolutions(g, opts, &stats);
+      CollectWith(g, opts, &stats);
       ASSERT_TRUE(stats.completed);
       EXPECT_EQ(stats.links, stats.solutions_found - 1 + stats.dedup_hits)
           << TraversalConfigName(opts) << " seed=" << seed;
@@ -45,18 +46,18 @@ TEST(StatsAccounting, LinkIdentityHoldsAcrossConfigs) {
 TEST(StatsAccounting, EmittedEqualsFoundWithoutThetas) {
   auto g = MakeRandomGraph({7, 6, 0.5, 21});
   TraversalStats stats;
-  CollectSolutions(g, MakeITraversalOptions(2), &stats);
+  CollectWith(g, MakeITraversalOptions(2), &stats);
   EXPECT_EQ(stats.solutions_emitted, stats.solutions_found);
 }
 
 TEST(StatsAccounting, PrunedLinkCountersOnlyUsedByTheirTechnique) {
   auto g = MakeRandomGraph({6, 6, 0.5, 33});
   TraversalStats bt;
-  CollectSolutions(g, MakeBTraversalOptions(1), &bt);
+  CollectWith(g, MakeBTraversalOptions(1), &bt);
   EXPECT_EQ(bt.links_pruned_right_shrinking, 0u);
   EXPECT_EQ(bt.links_pruned_exclusion, 0u);
   TraversalStats it;
-  CollectSolutions(g, MakeITraversalOptions(1), &it);
+  CollectWith(g, MakeITraversalOptions(1), &it);
   // On dense-enough random graphs the techniques actually fire.
   EXPECT_GT(it.links_pruned_right_shrinking + it.links_pruned_exclusion, 0u);
 }
@@ -71,12 +72,12 @@ TEST(EngineAgreement, ImbMatchesITraversalOnMediumGraphs) {
       std::vector<Biplex> imb;
       ImbOptions opts;
       opts.k = k;
-      RunImb(g, opts, [&](const Biplex& b) {
+      ImbEngine(g, opts).Run([&](const Biplex& b) {
         imb.push_back(b);
         return true;
       });
       std::sort(imb.begin(), imb.end());
-      auto itr = CollectSolutions(g, MakeITraversalOptions(k));
+      auto itr = CollectWith(g, MakeITraversalOptions(k));
       ASSERT_EQ(imb, itr) << "k=" << k << " seed=" << seed;
     }
   }
@@ -88,12 +89,12 @@ TEST(EngineAgreement, InflationBaselineMatchesITraversalOnMediumGraphs) {
   std::vector<Biplex> inf;
   InflationBaselineOptions opts;
   opts.k = 1;
-  RunInflationBaseline(g, opts, [&](const Biplex& b) {
+  InflationEngine(g, opts).Run([&](const Biplex& b) {
     inf.push_back(b);
     return true;
   });
   std::sort(inf.begin(), inf.end());
-  ASSERT_EQ(inf, CollectSolutions(g, MakeITraversalOptions(1)));
+  ASSERT_EQ(inf, CollectWith(g, MakeITraversalOptions(1)));
 }
 
 // ------------------------------------------------ running example ---------
@@ -104,7 +105,7 @@ TEST(RunningExample, PinnedSolutionCount) {
   auto g = RunningExampleGraph();
   auto solutions = BruteForceMaximalBiplexes(g, 1);
   EXPECT_EQ(solutions.size(), 17u);
-  EXPECT_EQ(CollectSolutions(g, MakeITraversalOptions(1)), solutions);
+  EXPECT_EQ(CollectWith(g, MakeITraversalOptions(1)), solutions);
   // H0 = ({v4}, all of R) is one of them.
   Biplex h0{{4}, {0, 1, 2, 3, 4}};
   EXPECT_TRUE(std::binary_search(solutions.begin(), solutions.end(), h0));
@@ -117,7 +118,7 @@ TEST(RunningExample, LinkCountsPinned) {
        {MakeBTraversalOptions(1), MakeITraversalLeftAnchoredOnlyOptions(1),
         MakeITraversalNoExclusionOptions(1), MakeITraversalOptions(1)}) {
     TraversalStats stats;
-    CollectSolutions(g, opts, &stats);
+    CollectWith(g, opts, &stats);
     links.push_back(stats.links);
   }
   // Strictly sparser as the techniques stack up, mirroring the paper's
@@ -171,7 +172,7 @@ TEST(Budgets, DeadlineInsideEnumAlmostSatAborts) {
   opts.time_budget_seconds = 0.05;
   WallTimer t;
   TraversalStats stats;
-  CollectSolutions(g, opts, &stats);
+  CollectWith(g, opts, &stats);
   EXPECT_FALSE(stats.completed);
   EXPECT_LT(t.ElapsedSeconds(), 2.0);  // promptly, not eventually
 }
@@ -183,7 +184,7 @@ TEST(Budgets, MaxResultsExactWithAlternatingOutput) {
     TraversalOptions opts = MakeITraversalOptions(1);
     opts.max_results = cap;
     size_t n = 0;
-    RunTraversal(g, opts, [&](const Biplex&) {
+    TraversalEngine(g, opts).Run([&](const Biplex&) {
       ++n;
       return true;
     });

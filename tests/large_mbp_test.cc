@@ -12,6 +12,8 @@
 namespace kbiplex {
 namespace {
 
+using testing_support::CollectWith;
+using testing_support::CollectLargeWith;
 using testing_support::MakeRandomGraph;
 using testing_support::ToString;
 
@@ -32,7 +34,7 @@ TEST_P(LargeMbpSweep, MatchesFilteredBruteForce) {
     opts.theta_left = theta_l;
     opts.theta_right = theta_r;
     opts.core_reduction = core_reduction;
-    auto got = CollectLargeMbps(g, opts);
+    auto got = CollectLargeWith(g, opts);
     ASSERT_EQ(got, expect)
         << "k=" << k << " theta=(" << theta_l << "," << theta_r
         << ") seed=" << seed << " core=" << core_reduction << "\ngot:\n"
@@ -56,7 +58,7 @@ TEST(LargeMbp, CoreReductionShrinksGraph) {
   opts.theta_left = 5;
   opts.theta_right = 5;
   LargeMbpStats stats;
-  auto got = CollectLargeMbps(g, opts, &stats);
+  auto got = CollectLargeWith(g, opts, &stats);
   // The dense block survives; most of the sparse base is peeled away.
   EXPECT_LT(stats.core_left, g.NumLeft());
   EXPECT_LT(stats.core_right, g.NumRight());
@@ -83,7 +85,7 @@ TEST(LargeMbp, EmptyResultWhenThresholdTooHigh) {
   opts.k = KPair::Uniform(1);
   opts.theta_left = 10;
   opts.theta_right = 10;
-  auto got = CollectLargeMbps(g, opts);
+  auto got = CollectLargeWith(g, opts);
   EXPECT_TRUE(got.empty());
 }
 
@@ -95,7 +97,7 @@ TEST(LargeMbp, SolutionsKeepOriginalIds) {
   opts.k = KPair::Uniform(1);
   opts.theta_left = 4;
   opts.theta_right = 4;
-  for (const Biplex& b : CollectLargeMbps(g, opts)) {
+  for (const Biplex& b : CollectLargeWith(g, opts)) {
     EXPECT_TRUE(IsMaximalKBiplex(g, b, 1)) << ToString(b);
     EXPECT_GE(b.left.size(), 4u);
     EXPECT_GE(b.right.size(), 4u);
@@ -113,11 +115,11 @@ TEST(LargeMbp, PruningDoesLessWorkThanFiltering) {
   opts.theta_right = 4;
   opts.core_reduction = false;  // isolate the Section 5 prunes
   LargeMbpStats pruned;
-  auto got = CollectLargeMbps(g, opts, &pruned);
+  auto got = CollectLargeWith(g, opts, &pruned);
   // Unpruned full enumeration with post-filtering.
   TraversalOptions full = MakeITraversalOptions(1);
   TraversalStats full_stats;
-  auto all = CollectSolutions(g, full, &full_stats);
+  auto all = CollectWith(g, full, &full_stats);
   ASSERT_EQ(got, FilterBySize(all, 4, 4));
   EXPECT_LE(pruned.traversal.links, full_stats.links);
   EXPECT_LE(pruned.traversal.local_solutions, full_stats.local_solutions);
@@ -129,7 +131,7 @@ TEST(LargeMbp, ThetaOneEqualsFullEnumerationNonEmptySides) {
   opts.k = KPair::Uniform(1);
   opts.theta_left = 1;
   opts.theta_right = 1;
-  auto got = CollectLargeMbps(g, opts);
+  auto got = CollectLargeWith(g, opts);
   auto expect = FilterBySize(BruteForceMaximalBiplexes(g, 1), 1, 1);
   ASSERT_EQ(got, expect);
 }

@@ -55,13 +55,77 @@ TEST(PreparedGraphTest, ArtifactsBuildLazilyAndOnce) {
   prepared->ExecutionGraph();
   prepared->ExecutionGraph();
   prepared->Components();
+  prepared->ComponentSubgraphs();
+  prepared->ComponentSubgraphs();
   prepared->MaxUniformCore();
   prepared->MaxUniformCore();
 
   PrepareArtifactStats after = prepared->artifact_stats();
   EXPECT_EQ(after.execution_graph_builds, 1);
   EXPECT_EQ(after.component_builds, 1);
+  EXPECT_EQ(after.component_subgraph_builds, 1);
   EXPECT_EQ(after.core_bound_builds, 1);
+}
+
+TEST(PreparedGraphTest, ComponentSubgraphsAlignWithTheLabeling) {
+  // Two disjoint bicliques plus an isolated vertex on each side: four
+  // components in total.
+  BipartiteGraph g = MakeGraph(5, 5,
+                               {{0, 0}, {0, 1}, {1, 0}, {1, 1},  // block A
+                                {2, 2}, {2, 3}, {3, 2}, {3, 3}});  // block B
+  auto prepared = PreparedGraph::Prepare(std::move(g));
+  const ComponentLabeling& labels = prepared->Components();
+  const std::vector<InducedSubgraph>& comps = prepared->ComponentSubgraphs();
+  ASSERT_EQ(static_cast<int>(comps.size()), labels.num_components);
+  ASSERT_EQ(labels.num_components, 4);
+  // Index alignment: every vertex of component c's subgraph maps back to a
+  // parent vertex labeled c, and every parent vertex appears exactly once.
+  size_t total_left = 0;
+  size_t total_right = 0;
+  for (size_t c = 0; c < comps.size(); ++c) {
+    for (VertexId v : comps[c].left_map) {
+      EXPECT_EQ(labels.left[v], static_cast<int>(c));
+    }
+    for (VertexId u : comps[c].right_map) {
+      EXPECT_EQ(labels.right[u], static_cast<int>(c));
+    }
+    total_left += comps[c].left_map.size();
+    total_right += comps[c].right_map.size();
+  }
+  EXPECT_EQ(total_left, prepared->graph().NumLeft());
+  EXPECT_EQ(total_right, prepared->graph().NumRight());
+}
+
+TEST(PreparedGraphTest, ComponentShardedQueriesReuseTheSubgraphCache) {
+  // Two components big enough to shard; thresholds satisfy the sharding
+  // safety condition (theta > 2k), so parallel runs take the component
+  // plan and hit the cache.
+  BipartiteGraph g = MakeGraph(
+      6, 6, {{0, 0}, {0, 1}, {0, 2}, {1, 0}, {1, 1}, {1, 2},
+             {2, 0}, {2, 1}, {2, 2},  // component A: 3x3 biclique
+             {3, 3}, {3, 4}, {3, 5}, {4, 3}, {4, 4}, {4, 5},
+             {5, 3}, {5, 4}, {5, 5}});  // component B: 3x3 biclique
+  auto prepared = PreparedGraph::Prepare(std::move(g));
+  QuerySession session(prepared);
+
+  EnumerateRequest seq = UniversalRequest("itraversal");
+  seq.theta_left = 3;
+  seq.theta_right = 3;
+  CollectingSink sequential;
+  EnumerateStats seq_stats = session.Run(seq, &sequential);
+  ASSERT_TRUE(seq_stats.ok()) << seq_stats.error;
+  const std::vector<Biplex> expected = sequential.Take();
+
+  EnumerateRequest par = seq;
+  par.threads = 2;
+  for (int round = 0; round < 3; ++round) {
+    CollectingSink parallel;
+    EnumerateStats par_stats = session.Run(par, &parallel);
+    ASSERT_TRUE(par_stats.ok()) << par_stats.error;
+    EXPECT_EQ(parallel.Take(), expected);
+  }
+  // All three parallel rounds shared one materialization.
+  EXPECT_EQ(prepared->artifact_stats().component_subgraph_builds, 1);
 }
 
 TEST(PreparedGraphTest, ArtifactsBuildOnceUnderConcurrentSessions) {

@@ -2,11 +2,14 @@
 #ifndef KBIPLEX_TESTS_TEST_SUPPORT_H_
 #define KBIPLEX_TESTS_TEST_SUPPORT_H_
 
+#include <algorithm>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/biplex.h"
+#include "core/itraversal.h"
+#include "core/large_mbp.h"
 #include "graph/bipartite_graph.h"
 #include "graph/generators.h"
 #include "util/random.h"
@@ -49,6 +52,35 @@ struct RandomGraphCase {
 inline BipartiteGraph MakeRandomGraph(const RandomGraphCase& c) {
   Rng rng(c.seed);
   return ErdosRenyiProbBipartite(c.nl, c.nr, c.p, &rng);
+}
+
+/// Runs the traversal engine once and returns its solutions, sorted;
+/// the test-suite shorthand for one engine-level enumeration.
+inline std::vector<Biplex> CollectWith(const BipartiteGraph& g,
+                                       const TraversalOptions& opts,
+                                       TraversalStats* stats = nullptr) {
+  std::vector<Biplex> out;
+  TraversalStats s = TraversalEngine(g, opts).Run([&](const Biplex& b) {
+    out.push_back(b);
+    return true;
+  });
+  if (stats != nullptr) *stats = s;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Runs the large-MBP engine once and returns its solutions, sorted.
+inline std::vector<Biplex> CollectLargeWith(const BipartiteGraph& g,
+                                            const LargeMbpOptions& opts,
+                                            LargeMbpStats* stats = nullptr) {
+  std::vector<Biplex> out;
+  LargeMbpStats s = LargeMbpEngine(g, opts).Run([&](const Biplex& b) {
+    out.push_back(b);
+    return true;
+  });
+  if (stats != nullptr) *stats = s;
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 }  // namespace testing_support

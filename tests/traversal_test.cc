@@ -14,6 +14,7 @@
 namespace kbiplex {
 namespace {
 
+using testing_support::CollectWith;
 using testing_support::MakeRandomGraph;
 using testing_support::ToString;
 
@@ -80,7 +81,7 @@ TEST_P(TraversalSweep, AllConfigsMatchBruteForce) {
   const auto expect = BruteForceMaximalBiplexes(g, k);
   for (const TraversalOptions& opts : AllConfigs(k)) {
     TraversalStats stats;
-    auto got = CollectSolutions(g, opts, &stats);
+    auto got = CollectWith(g, opts, &stats);
     ASSERT_EQ(got, expect)
         << TraversalConfigName(opts) << " k=" << k << " p=" << p
         << " seed=" << seed << "\ngot:\n"
@@ -108,8 +109,8 @@ TEST_P(EngineAgreementSweep, ITraversalMatchesBTraversal) {
   Rng rng(seed + 500);
   auto g = ErdosRenyiBipartite(12, 12, 40 + seed % 30, &rng);
   for (int k = 1; k <= 2; ++k) {
-    auto a = CollectSolutions(g, MakeBTraversalOptions(k));
-    auto b = CollectSolutions(g, MakeITraversalOptions(k));
+    auto a = CollectWith(g, MakeBTraversalOptions(k));
+    auto b = CollectWith(g, MakeITraversalOptions(k));
     ASSERT_EQ(a, b) << "k=" << k << " seed=" << seed;
   }
 }
@@ -142,7 +143,7 @@ TEST(Traversal, SparsificationShrinksLinkCounts) {
     uint64_t prev = ~0ull;
     for (const TraversalOptions& opts : AllConfigs(1)) {
       TraversalStats stats;
-      CollectSolutions(g, opts, &stats);
+      CollectWith(g, opts, &stats);
       EXPECT_LE(stats.links, prev)
           << TraversalConfigName(opts) << " seed=" << seed;
       prev = stats.links;
@@ -156,7 +157,7 @@ TEST(Traversal, RunningExampleLinkCountsShrink) {
   std::vector<uint64_t> solutions;
   for (const TraversalOptions& opts : AllConfigs(1)) {
     TraversalStats stats;
-    CollectSolutions(g, opts, &stats);
+    CollectWith(g, opts, &stats);
     links.push_back(stats.links);
     solutions.push_back(stats.solutions_found);
   }
@@ -177,7 +178,7 @@ TEST(Traversal, MaxResultsStopsEarly) {
   TraversalOptions opts = MakeITraversalOptions(1);
   opts.max_results = 3;
   TraversalStats stats;
-  auto got = CollectSolutions(g, opts, &stats);
+  auto got = CollectWith(g, opts, &stats);
   EXPECT_EQ(got.size(), 3u);
   EXPECT_FALSE(stats.completed);
 }
@@ -187,7 +188,7 @@ TEST(Traversal, CallbackStop) {
   auto g = ErdosRenyiBipartite(10, 10, 40, &rng);
   size_t count = 0;
   TraversalStats stats =
-      RunTraversal(g, MakeITraversalOptions(1), [&](const Biplex&) {
+      TraversalEngine(g, MakeITraversalOptions(1)).Run([&](const Biplex&) {
         return ++count < 2;
       });
   EXPECT_EQ(count, 2u);
@@ -200,7 +201,7 @@ TEST(Traversal, MaxLinksCapsWork) {
   TraversalOptions opts = MakeBTraversalOptions(1);
   opts.max_links = 5;
   TraversalStats stats;
-  CollectSolutions(g, opts, &stats);
+  CollectWith(g, opts, &stats);
   EXPECT_FALSE(stats.completed);
   EXPECT_LE(stats.links, 5u);
 }
@@ -211,7 +212,7 @@ TEST(Traversal, TimeBudgetHonored) {
   TraversalOptions opts = MakeBTraversalOptions(2);
   opts.time_budget_seconds = 0.02;
   TraversalStats stats;
-  CollectSolutions(g, opts, &stats);
+  CollectWith(g, opts, &stats);
   EXPECT_FALSE(stats.completed);
   EXPECT_LT(stats.seconds, 5.0);
 }
@@ -223,8 +224,8 @@ TEST(Traversal, AlternatingOutputMatchesEagerOutput) {
     auto g = MakeRandomGraph({6, 6, 0.5, seed});
     TraversalOptions eager = MakeITraversalOptions(1);
     eager.polynomial_delay_output = false;
-    auto a = CollectSolutions(g, MakeITraversalOptions(1));
-    auto b = CollectSolutions(g, eager);
+    auto a = CollectWith(g, MakeITraversalOptions(1));
+    auto b = CollectWith(g, eager);
     ASSERT_EQ(a, b) << "seed=" << seed;
   }
 }
@@ -237,7 +238,7 @@ TEST(Traversal, RightAnchoredEnumeratesSameSet) {
     auto expect = BruteForceMaximalBiplexes(g, 1);
     TraversalOptions opts = MakeITraversalOptions(1);
     opts.anchored_side = Side::kRight;
-    auto got = CollectSolutions(g, opts);
+    auto got = CollectWith(g, opts);
     ASSERT_EQ(got, expect) << "seed=" << seed;
   }
 }
@@ -248,7 +249,7 @@ TEST(Traversal, BothStoreBackendsAgree) {
   auto g = MakeRandomGraph({7, 7, 0.5, 31});
   TraversalOptions opts = MakeITraversalOptions(1);
   opts.store_backend = StoreBackend::kBoth;  // asserts internally
-  auto got = CollectSolutions(g, opts);
+  auto got = CollectWith(g, opts);
   EXPECT_EQ(got, BruteForceMaximalBiplexes(g, 1));
 }
 
@@ -260,7 +261,7 @@ TEST(Traversal, InflationLocalEnumMatchesDirect) {
     TraversalOptions direct = MakeITraversalOptions(1);
     TraversalOptions infl = MakeITraversalOptions(1);
     infl.local_impl = LocalEnumImpl::kInflation;
-    ASSERT_EQ(CollectSolutions(g, direct), CollectSolutions(g, infl))
+    ASSERT_EQ(CollectWith(g, direct), CollectWith(g, infl))
         << "seed=" << seed;
   }
 }
@@ -269,7 +270,7 @@ TEST(Traversal, InflationLocalEnumMatchesDirect) {
 
 TEST(Traversal, EmptyGraph) {
   BipartiteGraph g;
-  auto got = EnumerateMaximalBiplexes(g, 1);
+  auto got = CollectWith(g, MakeITraversalOptions(1));
   // The only maximal biplex of the empty graph is the empty subgraph.
   ASSERT_EQ(got.size(), 1u);
   EXPECT_TRUE(got[0].left.empty());
@@ -280,7 +281,7 @@ TEST(Traversal, NoEdges) {
   auto g = BipartiteGraph::FromEdges(3, 3, {});
   auto expect = BruteForceMaximalBiplexes(g, 1);
   for (const TraversalOptions& opts : AllConfigs(1)) {
-    ASSERT_EQ(CollectSolutions(g, opts), expect)
+    ASSERT_EQ(CollectWith(g, opts), expect)
         << TraversalConfigName(opts);
   }
 }
@@ -294,7 +295,7 @@ TEST(Traversal, CompleteGraph) {
   auto expect = BruteForceMaximalBiplexes(g, 1);
   EXPECT_EQ(expect.size(), 1u);  // the whole graph
   for (const TraversalOptions& opts : AllConfigs(1)) {
-    ASSERT_EQ(CollectSolutions(g, opts), expect);
+    ASSERT_EQ(CollectWith(g, opts), expect);
   }
 }
 
@@ -305,7 +306,7 @@ TEST(Traversal, StarGraph) {
   auto g = BipartiteGraph::FromEdges(3, 5, edges);
   auto expect = BruteForceMaximalBiplexes(g, 1);
   for (const TraversalOptions& opts : AllConfigs(1)) {
-    ASSERT_EQ(CollectSolutions(g, opts), expect);
+    ASSERT_EQ(CollectWith(g, opts), expect);
   }
 }
 
@@ -314,7 +315,7 @@ TEST(Traversal, SideWithSingleVertex) {
   for (int k = 1; k <= 2; ++k) {
     auto expect = BruteForceMaximalBiplexes(g, k);
     for (const TraversalOptions& opts : AllConfigs(k)) {
-      ASSERT_EQ(CollectSolutions(g, opts), expect) << "k=" << k;
+      ASSERT_EQ(CollectWith(g, opts), expect) << "k=" << k;
     }
   }
 }

@@ -23,22 +23,18 @@
 // '#' are skipped. Exactly one JSON stats object is printed per query
 // line; solutions themselves are not printed. --queries defaults to "-"
 // (stdin).
-#include <cctype>
-#include <cerrno>
-#include <charconv>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <optional>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "api/enumerator.h"
 #include "api/prepared_graph.h"
 #include "api/query_session.h"
+#include "api/request_parse.h"
 #include "graph/core_decomposition.h"
 #include "graph/graph_io.h"
 
@@ -85,130 +81,6 @@ void PrintUsage() {
             << names << "\n";
 }
 
-// Strict full-token numeric parsing: trailing garbage ("5x"), a lone "-",
-// and negative values for unsigned flags are usage errors, not
-// silently-truncated or wrapped values (std::stoull("-1") would "succeed"
-// as 2^64 - 1, and std::stoi("12x") as 12).
-bool ToInt(const std::string& s, int* out) {
-  const char* end = s.data() + s.size();
-  auto [ptr, ec] = std::from_chars(s.data(), end, *out);
-  return ec == std::errc() && ptr == end;
-}
-
-bool ToUint64(const std::string& s, uint64_t* out) {
-  const char* end = s.data() + s.size();
-  auto [ptr, ec] = std::from_chars(s.data(), end, *out);
-  return ec == std::errc() && ptr == end;
-}
-
-bool ToSize(const std::string& s, size_t* out) {
-  uint64_t v = 0;
-  if (!ToUint64(s, &v)) return false;
-  *out = static_cast<size_t>(v);
-  return true;
-}
-
-// strtod instead of std::from_chars: the floating-point from_chars
-// overloads are still missing from some standard libraries (libc++).
-// strtod alone is too permissive ("inf", "nan", hex floats, leading
-// whitespace/'+' all parse), so the token shape is checked first: plain
-// decimal with an optional exponent only.
-bool ToDouble(const std::string& s, double* out) {
-  if (s.empty()) return false;
-  const char c0 = s[0];
-  if (c0 != '-' && c0 != '.' && !(c0 >= '0' && c0 <= '9')) return false;
-  for (char c : s) {
-    if (std::isalpha(static_cast<unsigned char>(c)) && c != 'e' && c != 'E') {
-      return false;
-    }
-  }
-  errno = 0;
-  char* end = nullptr;
-  const double value = std::strtod(s.c_str(), &end);
-  if (end != s.c_str() + s.size() || errno == ERANGE) return false;
-  *out = value;
-  return true;
-}
-
-/// Outcome of consuming one token as a request flag.
-enum class FlagParse { kConsumed, kUnknown, kError };
-
-/// Parses tokens[*i] (plus its value tokens) into `request`, the shared
-/// request-flag grammar of `enumerate`, `large`, and `batch` query lines.
-/// Advances *i past consumed tokens on kConsumed; fills `error` on kError.
-FlagParse ParseRequestFlag(const std::vector<std::string>& tokens, size_t* i,
-                           EnumerateRequest* request, std::string* error) {
-  const std::string& flag = tokens[*i];
-  auto next = [&]() -> std::optional<std::string> {
-    if (*i + 1 >= tokens.size()) return std::nullopt;
-    return tokens[++*i];
-  };
-  auto next_parsed = [&](auto parse, auto* out) -> bool {
-    auto v = next();
-    if (!v.has_value()) {
-      *error = flag + " requires a value";
-      return false;
-    }
-    if (!parse(*v, out)) {
-      *error = "invalid value for " + flag + ": '" + *v + "'";
-      return false;
-    }
-    return true;
-  };
-
-  if (flag == "--k") {
-    int k = 0;
-    if (!next_parsed(ToInt, &k)) return FlagParse::kError;
-    request->k = KPair::Uniform(k);
-  } else if (flag == "--kl") {
-    if (!next_parsed(ToInt, &request->k.left)) return FlagParse::kError;
-  } else if (flag == "--kr") {
-    if (!next_parsed(ToInt, &request->k.right)) return FlagParse::kError;
-  } else if (flag == "--max") {
-    if (!next_parsed(ToUint64, &request->max_results)) {
-      return FlagParse::kError;
-    }
-  } else if (flag == "--budget") {
-    if (!next_parsed(ToDouble, &request->time_budget_seconds)) {
-      return FlagParse::kError;
-    }
-  } else if (flag == "--theta-l") {
-    if (!next_parsed(ToSize, &request->theta_left)) return FlagParse::kError;
-  } else if (flag == "--theta-r") {
-    if (!next_parsed(ToSize, &request->theta_right)) {
-      return FlagParse::kError;
-    }
-  } else if (flag == "--threads") {
-    if (!next_parsed(ToInt, &request->threads)) return FlagParse::kError;
-    if (request->threads < 0) {
-      *error = "--threads must be >= 0 (0 = one per hardware thread)";
-      return FlagParse::kError;
-    }
-  } else if (flag == "--algo") {
-    auto v = next();
-    if (!v) {
-      *error = "--algo requires a value";
-      return FlagParse::kError;
-    }
-    request->algorithm = *v;
-  } else if (flag == "--opt") {
-    auto v = next();
-    if (!v) {
-      *error = "--opt requires a value";
-      return FlagParse::kError;
-    }
-    const size_t eq = v->find('=');
-    if (eq == std::string::npos || eq == 0) {
-      *error = "--opt expects KEY=VALUE, got: '" + *v + "'";
-      return FlagParse::kError;
-    }
-    request->backend_options[v->substr(0, eq)] = v->substr(eq + 1);
-  } else {
-    return FlagParse::kUnknown;
-  }
-  return FlagParse::kConsumed;
-}
-
 std::optional<CliArgs> Parse(int argc, char** argv) {
   if (argc < 2) return std::nullopt;
   CliArgs args;
@@ -221,12 +93,12 @@ std::optional<CliArgs> Parse(int argc, char** argv) {
     const std::string& flag = tokens[i];
     std::string error;
     switch (ParseRequestFlag(tokens, &i, &args.request, &error)) {
-      case FlagParse::kConsumed:
+      case RequestFlagParse::kConsumed:
         continue;
-      case FlagParse::kError:
+      case RequestFlagParse::kError:
         std::cerr << error << "\n";
         return std::nullopt;
-      case FlagParse::kUnknown:
+      case RequestFlagParse::kUnknown:
         break;
     }
     auto next = [&]() -> std::optional<std::string> {
@@ -320,27 +192,6 @@ int CmdLarge(CliArgs args, BipartiteGraph g) {
   return RunRequest(args, std::move(g));
 }
 
-/// Parses one batch query line into a request; returns the error, if any.
-std::string ParseQueryLine(const std::string& line,
-                           EnumerateRequest* request) {
-  std::vector<std::string> tokens;
-  std::istringstream in(line);
-  std::string token;
-  while (in >> token) tokens.push_back(std::move(token));
-  for (size_t i = 0; i < tokens.size(); ++i) {
-    std::string error;
-    switch (ParseRequestFlag(tokens, &i, request, &error)) {
-      case FlagParse::kConsumed:
-        break;
-      case FlagParse::kError:
-        return error;
-      case FlagParse::kUnknown:
-        return "unknown query flag: " + tokens[i];
-    }
-  }
-  return "";
-}
-
 int CmdBatch(const CliArgs& args, BipartiteGraph g) {
   std::ifstream file;
   std::istream* in = &std::cin;
@@ -366,7 +217,7 @@ int CmdBatch(const CliArgs& args, BipartiteGraph g) {
     if (start == std::string::npos || line[start] == '#') continue;
     EnumerateRequest request;
     EnumerateStats stats;
-    if (std::string err = ParseQueryLine(line, &request); !err.empty()) {
+    if (std::string err = ParseRequestLine(line, &request); !err.empty()) {
       stats.error = "bad query line: " + err;
       stats.completed = false;
     } else {
