@@ -12,9 +12,20 @@ the first commit of a bench cannot regress.
 Bench numbers come from shared CI runners, so the tolerance is generous:
 this check catches "accidentally quadratic", not single-digit noise.
 
+A baseline can be missing for two distinct reasons, and the notice says
+which: the file has no version at HEAD~1 at all (first commit of that
+bench — cannot regress, skipped), or the previous version exists but does
+not parse as JSON (also skipped, but called out loudly so a corrupted
+baseline never silently disables the gate).
+
+`--list` prints every tracked BENCH_*.json with its record count and
+baseline status, without comparing anything; the CI job logs it first so
+a "no perf regressions" verdict always shows what was actually checked.
+
 Exit status: 1 when any matched record regressed beyond tolerance.
 """
 
+import argparse
 import glob
 import json
 import subprocess
@@ -32,6 +43,9 @@ SERVING_COUNTERS = {
 
 
 def load_previous(path):
+    """Returns (doc, status): (parsed, "ok"), (None, "missing") when the
+    baseline commit has no such file, (None, "unparsable") when it does
+    but the content is not valid JSON."""
     try:
         out = subprocess.run(
             ["git", "show", f"HEAD~1:{path}"],
@@ -39,11 +53,11 @@ def load_previous(path):
             check=True,
         ).stdout
     except subprocess.CalledProcessError:
-        return None  # new file, or HEAD has no parent
+        return None, "missing"  # new file, or HEAD has no parent
     try:
-        return json.loads(out)
+        return json.loads(out), "ok"
     except json.JSONDecodeError:
-        return None
+        return None, "unparsable"
 
 
 def records_by_name(doc):
@@ -60,9 +74,15 @@ def ratio_regressed(old, new, direction):
 
 def check_file(path):
     new_doc = json.load(open(path))
-    old_doc = load_previous(path)
-    if old_doc is None:
-        print(f"  {path}: no previous version, skipped")
+    old_doc, baseline = load_previous(path)
+    if baseline == "missing":
+        print(f"  {path}: SKIPPED — baseline commit has no {path} "
+              f"(first commit of this bench; nothing to compare against)")
+        return []
+    if baseline == "unparsable":
+        print(f"  {path}: SKIPPED — baseline {path} exists at HEAD~1 but "
+              f"is not valid JSON; fix or regenerate the baseline, the "
+              f"regression gate is OFF for this file until then")
         return []
     old_records = records_by_name(old_doc)
     new_records = records_by_name(new_doc)
@@ -94,14 +114,45 @@ def check_file(path):
     return regressions
 
 
-def main():
+def tracked_bench_files():
     tracked = subprocess.run(
         ["git", "ls-files", "BENCH_*.json"],
         capture_output=True,
         text=True,
         check=True,
     ).stdout.split()
-    paths = [p for p in tracked if glob.glob(p)]
+    return [p for p in tracked if glob.glob(p)]
+
+
+def list_files(paths):
+    if not paths:
+        print("no committed BENCH_*.json files")
+        return 0
+    print(f"{len(paths)} tracked bench file(s):")
+    for path in paths:
+        try:
+            records = len(records_by_name(json.load(open(path))))
+        except (OSError, json.JSONDecodeError):
+            records = -1
+        _, baseline = load_previous(path)
+        status = {"ok": "baseline at HEAD~1",
+                  "missing": "NO baseline at HEAD~1 (gate skips this file)",
+                  "unparsable": "UNPARSABLE baseline at HEAD~1 (gate skips "
+                                "this file)"}[baseline]
+        head = f"{records} records" if records >= 0 else "UNPARSABLE at HEAD"
+        print(f"  {path}: {head}, {status}")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--list", action="store_true",
+                        help="list tracked bench files and baseline status "
+                             "without comparing")
+    args = parser.parse_args()
+    paths = tracked_bench_files()
+    if args.list:
+        return list_files(paths)
     if not paths:
         print("no committed BENCH_*.json files; nothing to check")
         return 0

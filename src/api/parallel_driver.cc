@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -12,6 +11,8 @@
 #include "core/brute_force.h"
 #include "graph/components.h"
 #include "util/cancellation.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -36,7 +37,7 @@ class SharedDelivery {
         b.right.size() < request_.theta_right) {
       return true;
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stopped_) return false;
     if (!sink_->Accept(b)) {
       Stop();
@@ -55,17 +56,17 @@ class SharedDelivery {
   }
 
  private:
-  void Stop() {
+  void Stop() KBIPLEX_REQUIRES(mu_) {
     stopped_ = true;
     stop_->Cancel();
   }
 
   const EnumerateRequest& request_;
-  SolutionSink* sink_;
-  CancellationToken* stop_;
-  std::mutex mu_;
+  SolutionSink* const sink_ KBIPLEX_PT_GUARDED_BY(mu_);
+  CancellationToken* const stop_;  // CancellationToken is atomic
+  Mutex mu_;
   std::atomic<uint64_t> delivered_{0};
-  bool stopped_ = false;
+  bool stopped_ KBIPLEX_GUARDED_BY(mu_) = false;
 };
 
 /// Collects the first error raised by any worker (engine rejection or a
@@ -74,18 +75,18 @@ class ErrorCollector {
  public:
   void Record(const std::string& error) {
     if (error.empty()) return;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (error_.empty()) error_ = error;
   }
 
   std::string Take() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return error_;
   }
 
  private:
-  std::mutex mu_;
-  std::string error_;
+  Mutex mu_;
+  std::string error_ KBIPLEX_GUARDED_BY(mu_);
 };
 
 /// Runs `body` as a pool task, converting an escaping exception into a

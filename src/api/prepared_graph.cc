@@ -114,9 +114,8 @@ void PreparedGraph::BuildExecutionGraph() const {
     target->BuildAdjacencyIndex(options_.adjacency_min_degree);
   }
   exec_graph_ = target != nullptr ? target : graph_;
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  ++stats_.execution_graph_builds;
-  stats_.build_seconds += timer.ElapsedSeconds();
+  counters_.Count(&PrepareArtifactStats::execution_graph_builds,
+                  timer.ElapsedSeconds());
 }
 
 const BipartiteGraph& PreparedGraph::ExecutionGraph() const {
@@ -136,9 +135,8 @@ const ComponentLabeling& PreparedGraph::Components() const {
     const BipartiteGraph& g = ExecutionGraph();
     WallTimer timer;
     components_ = LabelConnectedComponents(g);
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.component_builds;
-    stats_.build_seconds += timer.ElapsedSeconds();
+    counters_.Count(&PrepareArtifactStats::component_builds,
+                    timer.ElapsedSeconds());
   });
   return components_;
 }
@@ -152,9 +150,8 @@ const std::vector<InducedSubgraph>& PreparedGraph::ComponentSubgraphs()
     // LabelConnectedComponents (by smallest (side, id) vertex), so the
     // result is index-aligned with Components() by construction.
     component_subgraphs_ = ConnectedComponents(g);
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.component_subgraph_builds;
-    stats_.build_seconds += timer.ElapsedSeconds();
+    counters_.Count(&PrepareArtifactStats::component_subgraph_builds,
+                    timer.ElapsedSeconds());
   });
   return component_subgraphs_;
 }
@@ -164,9 +161,8 @@ size_t PreparedGraph::MaxUniformCore() const {
     const BipartiteGraph& g = ExecutionGraph();  // outside the timed region
     WallTimer timer;
     max_uniform_core_ = ComputeMaxUniformCore(g);
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.core_bound_builds;
-    stats_.build_seconds += timer.ElapsedSeconds();
+    counters_.Count(&PrepareArtifactStats::core_bound_builds,
+                    timer.ElapsedSeconds());
   });
   return max_uniform_core_;
 }
@@ -178,8 +174,7 @@ void PreparedGraph::Warmup() const {
 }
 
 PrepareArtifactStats PreparedGraph::artifact_stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  return counters_.Snapshot();
 }
 
 }  // namespace kbiplex

@@ -26,20 +26,20 @@ bool AlgorithmRegistry::Register(AlgorithmInfo info,
                                  AlgorithmFactory factory) {
   std::string key = NormalizeAlgorithmName(info.name);
   info.name = key;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return entries_.emplace(std::move(key), Entry{std::move(info),
                                                 std::move(factory)})
       .second;
 }
 
 bool AlgorithmRegistry::Contains(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return entries_.count(NormalizeAlgorithmName(name)) != 0;
 }
 
 std::optional<AlgorithmInfo> AlgorithmRegistry::Find(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = entries_.find(NormalizeAlgorithmName(name));
   if (it == entries_.end()) return std::nullopt;
   return it->second.info;
@@ -49,7 +49,7 @@ std::unique_ptr<AlgorithmBackend> AlgorithmRegistry::Create(
     const std::string& name) const {
   AlgorithmFactory factory;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = entries_.find(NormalizeAlgorithmName(name));
     if (it == entries_.end()) return nullptr;
     factory = it->second.factory;
@@ -58,7 +58,7 @@ std::unique_ptr<AlgorithmBackend> AlgorithmRegistry::Create(
 }
 
 std::vector<std::string> AlgorithmRegistry::Names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> names;
   names.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) names.push_back(name);
@@ -66,7 +66,7 @@ std::vector<std::string> AlgorithmRegistry::Names() const {
 }
 
 std::vector<AlgorithmInfo> AlgorithmRegistry::List() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<AlgorithmInfo> infos;
   infos.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) infos.push_back(entry.info);

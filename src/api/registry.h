@@ -9,7 +9,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -18,6 +17,8 @@
 #include "api/enumerate_stats.h"
 #include "api/solution_sink.h"
 #include "graph/bipartite_graph.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace kbiplex {
 
@@ -80,22 +81,25 @@ class AlgorithmRegistry {
 
   /// Registers a backend; returns false (and changes nothing) if the name
   /// is already taken. Names are case-insensitive.
-  bool Register(AlgorithmInfo info, AlgorithmFactory factory);
+  bool Register(AlgorithmInfo info, AlgorithmFactory factory)
+      KBIPLEX_EXCLUDES(mu_);
 
   /// True iff `name` is registered.
-  bool Contains(const std::string& name) const;
+  bool Contains(const std::string& name) const KBIPLEX_EXCLUDES(mu_);
 
   /// Capability record of `name`, or std::nullopt if unknown.
-  std::optional<AlgorithmInfo> Find(const std::string& name) const;
+  std::optional<AlgorithmInfo> Find(const std::string& name) const
+      KBIPLEX_EXCLUDES(mu_);
 
   /// Creates a fresh backend, or null if `name` is unknown.
-  std::unique_ptr<AlgorithmBackend> Create(const std::string& name) const;
+  std::unique_ptr<AlgorithmBackend> Create(const std::string& name) const
+      KBIPLEX_EXCLUDES(mu_);
 
   /// All registered names, sorted.
-  std::vector<std::string> Names() const;
+  std::vector<std::string> Names() const KBIPLEX_EXCLUDES(mu_);
 
   /// All capability records, sorted by name.
-  std::vector<AlgorithmInfo> List() const;
+  std::vector<AlgorithmInfo> List() const KBIPLEX_EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -103,8 +107,8 @@ class AlgorithmRegistry {
     AlgorithmFactory factory;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
+  mutable Mutex mu_;
+  std::map<std::string, Entry> entries_ KBIPLEX_GUARDED_BY(mu_);
 };
 
 /// Lower-cases an algorithm name; registry lookups apply this themselves,

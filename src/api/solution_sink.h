@@ -8,11 +8,12 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <ostream>
 #include <vector>
 
 #include "core/biplex.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace kbiplex {
 
@@ -120,7 +121,7 @@ class SynchronizedSink final : public SolutionSink {
   explicit SynchronizedSink(SolutionSink* inner) : inner_(inner) {}
 
   bool Accept(const Biplex& solution) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stopped_) return false;
     if (!inner_->Accept(solution)) stopped_ = true;
     return !stopped_;
@@ -129,9 +130,9 @@ class SynchronizedSink final : public SolutionSink {
   bool ThreadCompatible() const override { return true; }
 
  private:
-  std::mutex mu_;
-  SolutionSink* inner_;
-  bool stopped_ = false;
+  Mutex mu_;
+  SolutionSink* const inner_;  // set at construction, never reseated
+  bool stopped_ KBIPLEX_GUARDED_BY(mu_) = false;
 };
 
 /// Streams solutions to an output stream as they arrive.

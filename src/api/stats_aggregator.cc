@@ -74,7 +74,7 @@ void RequestAggregate::Merge(const RequestAggregate& other) {
 void StatsAggregator::Record(const std::string& graph,
                              const std::string& algorithm,
                              const EnumerateStats& stats) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   total_.Add(stats);
   per_graph_[graph].Add(stats);
   AlgoAggregate& a = per_algo_[algorithm];
@@ -83,7 +83,7 @@ void StatsAggregator::Record(const std::string& graph,
 }
 
 RequestAggregate StatsAggregator::Total() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return total_;
 }
 
@@ -105,7 +105,7 @@ std::string StatsAggregator::ToJson() const {
   std::map<std::string, RequestAggregate> per_graph;
   std::map<std::string, AlgoAggregate> per_algo;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     total = total_;
     per_graph = per_graph_;
     per_algo = per_algo_;

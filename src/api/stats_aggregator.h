@@ -10,10 +10,11 @@
 #include <array>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "api/enumerate_stats.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace kbiplex {
 
@@ -65,13 +66,13 @@ struct RequestAggregate {
 class StatsAggregator {
  public:
   void Record(const std::string& graph, const std::string& algorithm,
-              const EnumerateStats& stats);
+              const EnumerateStats& stats) KBIPLEX_EXCLUDES(mu_);
 
-  RequestAggregate Total() const;
+  RequestAggregate Total() const KBIPLEX_EXCLUDES(mu_);
 
   /// {"total": {...}, "graphs": {name: {...}},
   ///  "algorithms": {name: {..., "p50_s": x, "p99_s": y}}}
-  std::string ToJson() const;
+  std::string ToJson() const KBIPLEX_EXCLUDES(mu_);
 
  private:
   struct AlgoAggregate {
@@ -79,10 +80,10 @@ class StatsAggregator {
     LatencyHistogram latency;
   };
 
-  mutable std::mutex mu_;
-  RequestAggregate total_;
-  std::map<std::string, RequestAggregate> per_graph_;
-  std::map<std::string, AlgoAggregate> per_algo_;
+  mutable Mutex mu_;
+  RequestAggregate total_ KBIPLEX_GUARDED_BY(mu_);
+  std::map<std::string, RequestAggregate> per_graph_ KBIPLEX_GUARDED_BY(mu_);
+  std::map<std::string, AlgoAggregate> per_algo_ KBIPLEX_GUARDED_BY(mu_);
 };
 
 }  // namespace kbiplex

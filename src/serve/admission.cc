@@ -7,7 +7,7 @@ namespace serve {
 
 AdmissionQueue::Outcome AdmissionQueue::Push(Job job) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (closed_) {
       ++rejected_closed_;
       return Outcome::kClosed;
@@ -19,13 +19,13 @@ AdmissionQueue::Outcome AdmissionQueue::Push(Job job) {
     queue_.push_back(std::move(job));
     ++admitted_;
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return Outcome::kAccepted;
 }
 
 bool AdmissionQueue::Pop(Job* out) {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  MutexLock lock(&mu_);
+  while (!closed_ && queue_.empty()) cv_.Wait(&mu_);
   if (queue_.empty()) return false;  // closed and drained
   *out = std::move(queue_.front());
   queue_.pop_front();
@@ -34,24 +34,24 @@ bool AdmissionQueue::Pop(Job* out) {
 
 void AdmissionQueue::Close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     closed_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 AdmissionQueue::Counters AdmissionQueue::counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return {admitted_, rejected_overload_, rejected_closed_, queue_.size()};
 }
 
 size_t AdmissionQueue::depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return queue_.size();
 }
 
 bool AdmissionQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return closed_;
 }
 

@@ -7,11 +7,12 @@
 #ifndef KBIPLEX_SERVE_ADMISSION_H_
 #define KBIPLEX_SERVE_ADMISSION_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace kbiplex {
 namespace serve {
@@ -32,14 +33,14 @@ class AdmissionQueue {
 
   explicit AdmissionQueue(size_t capacity) : capacity_(capacity) {}
 
-  Outcome Push(Job job);
+  Outcome Push(Job job) KBIPLEX_EXCLUDES(mu_);
 
   /// Blocks until a job is available or the queue is closed and empty;
   /// false means "no more work, worker should exit".
-  bool Pop(Job* out);
+  bool Pop(Job* out) KBIPLEX_EXCLUDES(mu_);
 
   /// Stops admitting; queued jobs still drain through Pop. Idempotent.
-  void Close();
+  void Close() KBIPLEX_EXCLUDES(mu_);
 
   struct Counters {
     uint64_t admitted = 0;
@@ -47,20 +48,20 @@ class AdmissionQueue {
     uint64_t rejected_closed = 0;
     size_t depth = 0;  // currently queued (not yet popped)
   };
-  Counters counters() const;
+  Counters counters() const KBIPLEX_EXCLUDES(mu_);
 
-  size_t depth() const;
-  bool closed() const;
+  size_t depth() const KBIPLEX_EXCLUDES(mu_);
+  bool closed() const KBIPLEX_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Job> queue_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<Job> queue_ KBIPLEX_GUARDED_BY(mu_);
   const size_t capacity_;
-  bool closed_ = false;
-  uint64_t admitted_ = 0;
-  uint64_t rejected_overload_ = 0;
-  uint64_t rejected_closed_ = 0;
+  bool closed_ KBIPLEX_GUARDED_BY(mu_) = false;
+  uint64_t admitted_ KBIPLEX_GUARDED_BY(mu_) = 0;
+  uint64_t rejected_overload_ KBIPLEX_GUARDED_BY(mu_) = 0;
+  uint64_t rejected_closed_ KBIPLEX_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace serve

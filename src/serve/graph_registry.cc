@@ -27,19 +27,19 @@ void GraphRegistry::Add(const std::string& name, BipartiteGraph graph,
 }
 
 void GraphRegistry::Put(const std::string& name, RegisteredGraph entry) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(&mu_);
   entry.generation = next_generation_++;
   graphs_[name] = std::move(entry);
 }
 
 bool GraphRegistry::Evict(const std::string& name) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(&mu_);
   return graphs_.erase(name) != 0;
 }
 
 std::optional<RegisteredGraph> GraphRegistry::Get(
     const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(&mu_);
   const auto it = graphs_.find(name);
   if (it == graphs_.end()) return std::nullopt;
   return it->second;
@@ -47,12 +47,12 @@ std::optional<RegisteredGraph> GraphRegistry::Get(
 
 std::vector<std::pair<std::string, RegisteredGraph>> GraphRegistry::List()
     const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(&mu_);
   return {graphs_.begin(), graphs_.end()};
 }
 
 size_t GraphRegistry::size() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(&mu_);
   return graphs_.size();
 }
 

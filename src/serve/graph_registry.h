@@ -16,12 +16,13 @@
 #include <map>
 #include <memory>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "api/prepared_graph.h"
 #include "graph/bipartite_graph.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace kbiplex {
 namespace serve {
@@ -42,30 +43,33 @@ class GraphRegistry {
   /// run outside the lock: concurrent queries are never blocked behind
   /// file I/O.
   std::string LoadFile(const std::string& name, const std::string& path,
-                       const PrepareOptions& options);
+                       const PrepareOptions& options) KBIPLEX_EXCLUDES(mu_);
 
   /// Registers an already-built graph (daemon preload, tests).
   void Add(const std::string& name, BipartiteGraph graph,
-           const PrepareOptions& options);
+           const PrepareOptions& options) KBIPLEX_EXCLUDES(mu_);
 
   /// Removes `name`; returns false when it was not registered. In-flight
   /// queries holding the shared_ptr keep running to completion.
-  bool Evict(const std::string& name);
+  bool Evict(const std::string& name) KBIPLEX_EXCLUDES(mu_);
 
   /// Resolves `name`; nullopt when unknown.
-  std::optional<RegisteredGraph> Get(const std::string& name) const;
+  std::optional<RegisteredGraph> Get(const std::string& name) const
+      KBIPLEX_EXCLUDES(mu_);
 
   /// Snapshot of every registered graph, sorted by name.
-  std::vector<std::pair<std::string, RegisteredGraph>> List() const;
+  std::vector<std::pair<std::string, RegisteredGraph>> List() const
+      KBIPLEX_EXCLUDES(mu_);
 
-  size_t size() const;
+  size_t size() const KBIPLEX_EXCLUDES(mu_);
 
  private:
-  void Put(const std::string& name, RegisteredGraph entry);
+  void Put(const std::string& name, RegisteredGraph entry)
+      KBIPLEX_EXCLUDES(mu_);
 
-  mutable std::shared_mutex mu_;
-  std::map<std::string, RegisteredGraph> graphs_;
-  uint64_t next_generation_ = 1;
+  mutable SharedMutex mu_;
+  std::map<std::string, RegisteredGraph> graphs_ KBIPLEX_GUARDED_BY(mu_);
+  uint64_t next_generation_ KBIPLEX_GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace serve

@@ -40,14 +40,22 @@ struct WorkerContext {
 };
 
 struct Server::Connection {
-  int fd = -1;
-  std::mutex mu;  // guards fd lifecycle and serializes writes
+  Mutex mu;  // guards fd lifecycle and serializes writes
+  int fd KBIPLEX_GUARDED_BY(mu) = -1;
   std::atomic<bool> alive{true};
+
+  /// The socket, for the owning connection thread's recv loop. Only that
+  /// thread ever closes the fd (CloseFd, at loop exit), so the value it
+  /// reads here stays valid for the duration of the loop.
+  int Fd() {
+    MutexLock lock(&mu);
+    return fd;
+  }
 
   /// Sends `line` plus the newline frame. False once the peer is gone —
   /// the streaming sink uses that to stop the enumeration.
   bool WriteLine(const std::string& line) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     if (!alive.load() || fd < 0) return false;
     std::string framed = line;
     framed.push_back('\n');
@@ -68,13 +76,13 @@ struct Server::Connection {
   /// Kicks a connection thread out of recv() without freeing the fd (the
   /// owning thread still holds it); safe against concurrent writes.
   void ShutdownBoth() {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
   }
 
   /// Final close by the owning connection thread.
   void CloseFd() {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     alive.store(false);
     if (fd >= 0) {
       ::close(fd);
@@ -121,20 +129,21 @@ class Server::DeadlineReaper {
 
   ~DeadlineReaper() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       stop_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     thread_.join();
   }
 
   void Schedule(Clock::time_point when,
-                std::shared_ptr<CancellationToken> token) {
+                std::shared_ptr<CancellationToken> token)
+      KBIPLEX_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       heap_.push(Entry{when, std::move(token)});
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
  private:
@@ -144,16 +153,16 @@ class Server::DeadlineReaper {
     bool operator>(const Entry& other) const { return when > other.when; }
   };
 
-  void Loop() {
-    std::unique_lock<std::mutex> lock(mu_);
+  void Loop() KBIPLEX_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     while (!stop_) {
       if (heap_.empty()) {
-        cv_.wait(lock);
+        cv_.Wait(&mu_);
         continue;
       }
       const Clock::time_point next = heap_.top().when;
       if (Clock::now() < next) {
-        cv_.wait_until(lock, next);
+        cv_.WaitUntil(&mu_, next);
         continue;
       }
       while (!heap_.empty() && heap_.top().when <= Clock::now()) {
@@ -163,10 +172,11 @@ class Server::DeadlineReaper {
     }
   }
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_
+      KBIPLEX_GUARDED_BY(mu_);
+  bool stop_ KBIPLEX_GUARDED_BY(mu_) = false;
   std::thread thread_;  // last: starts in the constructor
 };
 
@@ -246,9 +256,14 @@ void Server::AcceptLoop() {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
     auto conn = std::make_shared<Connection>();
-    conn->fd = fd;
+    {
+      // No other thread can see `conn` yet, but the analysis (rightly)
+      // demands the lock for the guarded write.
+      MutexLock fd_lock(&conn->mu);
+      conn->fd = fd;
+    }
     ++open_connections_;
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(&conn_mu_);
     // Prune entries whose thread already exited so a long-lived daemon's
     // connection list tracks live connections, not history. (The thread
     // handles are only reclaimed at Wait(); acceptable for this scale.)
@@ -266,10 +281,12 @@ void Server::AcceptLoop() {
 }
 
 void Server::ConnectionLoop(std::shared_ptr<Connection> conn) {
+  // Stable for the whole loop: only this thread closes the fd, below.
+  const int fd = conn->Fd();
   std::string buffer;
   char chunk[65536];
   for (;;) {
-    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;
     buffer.append(chunk, static_cast<size_t>(n));
@@ -519,7 +536,7 @@ void Server::RequestDrain() {
   if (!draining_.compare_exchange_strong(expected, true)) return;
   queue_->Close();  // new queries now answer 503
   WakeAcceptor();   // acceptor observes draining_ and stops
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(&state_mu_);
   drain_thread_ = std::thread([this] { DrainLoop(); });
 }
 
@@ -543,23 +560,23 @@ void Server::DrainLoop() {
   // case a connection was accepted concurrently with the drain start.
   for (;;) {
     {
-      std::lock_guard<std::mutex> lock(conn_mu_);
+      MutexLock lock(&conn_mu_);
       for (const auto& conn : connections_) conn->ShutdownBoth();
     }
     if (open_connections_.load() == 0) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(&state_mu_);
     drained_ = true;
   }
-  state_cv_.notify_all();
+  state_cv_.NotifyAll();
 }
 
 void Server::Wait() {
   {
-    std::unique_lock<std::mutex> lock(state_mu_);
-    state_cv_.wait(lock, [this] { return drained_; });
+    MutexLock lock(&state_mu_);
+    while (!drained_) state_cv_.Wait(&state_mu_);
     if (joined_) return;
     joined_ = true;
   }
@@ -567,11 +584,16 @@ void Server::Wait() {
   for (std::thread& worker : workers_)
     if (worker.joinable()) worker.join();
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(&conn_mu_);
     for (std::thread& thread : conn_threads_)
       if (thread.joinable()) thread.join();
   }
-  if (drain_thread_.joinable()) drain_thread_.join();
+  {
+    // Safe to join while holding state_mu_: once drained_ is set the
+    // drain thread touches no Server state and is about to return.
+    MutexLock lock(&state_mu_);
+    if (drain_thread_.joinable()) drain_thread_.join();
+  }
   reaper_.reset();
 }
 

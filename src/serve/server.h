@@ -26,10 +26,8 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -39,6 +37,8 @@
 #include "serve/graph_registry.h"
 #include "serve/wire.h"
 #include "util/cancellation.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace kbiplex {
@@ -84,20 +84,20 @@ class Server {
   /// Begins a graceful drain (idempotent, non-blocking): stop accepting,
   /// reject new queries with 503, let admitted work finish within the
   /// grace period, then cancel what remains.
-  void RequestDrain();
+  void RequestDrain() KBIPLEX_EXCLUDES(state_mu_);
 
   /// Blocks until a requested drain completes and every thread joined.
-  void Wait();
+  void Wait() KBIPLEX_EXCLUDES(state_mu_, conn_mu_);
 
   bool draining() const { return draining_.load(); }
 
  private:
   class DeadlineReaper;
 
-  void AcceptLoop();
+  void AcceptLoop() KBIPLEX_EXCLUDES(conn_mu_);
   void ConnectionLoop(std::shared_ptr<Connection> conn);
   void WorkerLoop();
-  void DrainLoop();
+  void DrainLoop() KBIPLEX_EXCLUDES(state_mu_, conn_mu_);
   void HandleLine(const std::shared_ptr<Connection>& conn,
                   const std::string& line);
   void HandleQuery(const std::shared_ptr<Connection>& conn, WireCommand cmd);
@@ -109,35 +109,46 @@ class Server {
   std::string ServerStatsBody() const;
   void WakeAcceptor();
 
-  ServerOptions options_;
-  GraphRegistry registry_;
-  StatsAggregator aggregator_;
-  std::unique_ptr<AdmissionQueue> queue_;
-  std::unique_ptr<DeadlineReaper> reaper_;
-  WallTimer uptime_;
+  // Set at construction, immutable afterwards (prepare options, queue
+  // capacity); the queue object itself is internally synchronized.
+  ServerOptions options_;  // NOLINT(kbiplex-guarded-by): const after ctor
+  GraphRegistry registry_;       // NOLINT(kbiplex-guarded-by): internal lock
+  StatsAggregator aggregator_;   // NOLINT(kbiplex-guarded-by): internal lock
+  const std::unique_ptr<AdmissionQueue> queue_;
+  // Created in Start() before any request can reference it, destroyed in
+  // Wait() after every worker joined.
+  std::unique_ptr<DeadlineReaper> reaper_;  // NOLINT(kbiplex-guarded-by): lifecycle
+  WallTimer uptime_;  // NOLINT(kbiplex-guarded-by): immutable start time
 
-  int listen_fd_ = -1;
-  int wake_pipe_[2] = {-1, -1};
-  uint16_t port_ = 0;
-  bool started_ = false;
+  // Socket state: written by Start() before the serving threads exist;
+  // listen_fd_ is then owned by the acceptor thread, wake_pipe_ write
+  // ends are safe to use concurrently (pipe writes are atomic).
+  int listen_fd_ = -1;        // NOLINT(kbiplex-guarded-by): lifecycle
+  int wake_pipe_[2] = {-1, -1};  // NOLINT(kbiplex-guarded-by): lifecycle
+  uint16_t port_ = 0;         // NOLINT(kbiplex-guarded-by): set in Start()
+  bool started_ = false;      // NOLINT(kbiplex-guarded-by): ctor-thread only
 
-  CancellationToken drain_token_;
+  CancellationToken drain_token_;  // NOLINT(kbiplex-guarded-by): atomic flag
   std::atomic<bool> draining_{false};
   std::atomic<size_t> active_jobs_{0};
   std::atomic<uint64_t> completed_jobs_{0};
   std::atomic<size_t> open_connections_{0};
 
   std::thread acceptor_;
-  std::thread drain_thread_;
   std::vector<std::thread> workers_;
-  std::mutex conn_mu_;
-  std::vector<std::shared_ptr<Connection>> connections_;
-  std::vector<std::thread> conn_threads_;
 
-  std::mutex state_mu_;
-  std::condition_variable state_cv_;
-  bool drained_ = false;
-  bool joined_ = false;
+  Mutex conn_mu_;
+  std::vector<std::shared_ptr<Connection>> connections_
+      KBIPLEX_GUARDED_BY(conn_mu_);
+  std::vector<std::thread> conn_threads_ KBIPLEX_GUARDED_BY(conn_mu_);
+
+  // Lock-ordering rule: conn_mu_ and state_mu_ are leaf locks — no code
+  // path holds both at once (docs/concurrency.md).
+  Mutex state_mu_;
+  CondVar state_cv_;
+  std::thread drain_thread_ KBIPLEX_GUARDED_BY(state_mu_);
+  bool drained_ KBIPLEX_GUARDED_BY(state_mu_) = false;
+  bool joined_ KBIPLEX_GUARDED_BY(state_mu_) = false;
 };
 
 }  // namespace serve

@@ -1,0 +1,155 @@
+// Annotated synchronization primitives: thin wrappers over std::mutex,
+// std::shared_mutex, and std::condition_variable that carry the
+// thread-safety capability attributes from util/thread_annotations.h, so
+// `clang -Wthread-safety` can check every lock acquisition and every
+// KBIPLEX_GUARDED_BY member access in the repo. These are the ONLY
+// synchronization types production code may use —
+// tools/lint/check_concurrency.py fails the build on a raw std::mutex /
+// std::shared_mutex / std::condition_variable outside this header,
+// because the analysis cannot see through the std types.
+//
+// The wrappers add no state and no behavior: Mutex is exactly
+// std::mutex, SharedMutex exactly std::shared_mutex, CondVar exactly
+// std::condition_variable (waiting through an externally-held Mutex via
+// the adopt-lock idiom). Prefer the scoped guards (MutexLock,
+// ReaderLock, WriterLock) over manual Lock/Unlock pairs; manual calls
+// exist for the rare pattern a scope cannot express.
+//
+// CondVar deliberately has no predicate-taking Wait: the analysis cannot
+// see that a predicate lambda runs under the caller's lock, so guarded
+// reads inside it would be flagged. Write the standard explicit loop
+// instead, which the analysis follows:
+//
+//   MutexLock lock(&mu_);
+//   while (!ready_) cv_.Wait(&mu_);   // ready_ KBIPLEX_GUARDED_BY(mu_)
+#ifndef KBIPLEX_UTIL_SYNC_H_
+#define KBIPLEX_UTIL_SYNC_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.h"
+
+namespace kbiplex {
+
+/// Exclusive mutex (std::mutex) visible to the thread-safety analysis.
+class KBIPLEX_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() KBIPLEX_ACQUIRE() { mu_.lock(); }
+  void Unlock() KBIPLEX_RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Reader/writer mutex (std::shared_mutex) visible to the analysis.
+/// Reads of a KBIPLEX_GUARDED_BY member are legal under either mode;
+/// writes require the exclusive mode.
+class KBIPLEX_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() KBIPLEX_ACQUIRE() { mu_.lock(); }
+  void Unlock() KBIPLEX_RELEASE() { mu_.unlock(); }
+  void LockShared() KBIPLEX_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() KBIPLEX_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock on a Mutex.
+class KBIPLEX_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) KBIPLEX_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() KBIPLEX_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// RAII exclusive lock on a SharedMutex (the load/evict side).
+class KBIPLEX_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex* mu) KBIPLEX_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~WriterLock() KBIPLEX_RELEASE() { mu_->Unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// RAII shared lock on a SharedMutex (the query side).
+class KBIPLEX_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex* mu) KBIPLEX_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->LockShared();
+  }
+  ~ReaderLock() KBIPLEX_RELEASE() { mu_->UnlockShared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// Condition variable waited on through an externally-held Mutex. Each
+/// Wait* call requires the mutex held; it is atomically released while
+/// blocked and re-held on return (the analysis only needs the entry/exit
+/// invariant, which the KBIPLEX_REQUIRES annotation states).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex* mu) KBIPLEX_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller's scope still owns the re-held mutex
+  }
+
+  std::cv_status WaitUntil(Mutex* mu,
+                           std::chrono::steady_clock::time_point deadline)
+      KBIPLEX_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(lock, deadline);
+    lock.release();
+    return status;
+  }
+
+  std::cv_status WaitFor(Mutex* mu, std::chrono::nanoseconds timeout)
+      KBIPLEX_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(lock, timeout);
+    lock.release();
+    return status;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace kbiplex
+
+#endif  // KBIPLEX_UTIL_SYNC_H_

@@ -1,0 +1,90 @@
+// Clang thread-safety-analysis attribute wrappers. Annotating a member
+// with KBIPLEX_GUARDED_BY(mu_) (and functions with KBIPLEX_REQUIRES /
+// KBIPLEX_ACQUIRE / ...) turns the repo's locking discipline into
+// something `clang -Wthread-safety` verifies at compile time: reading a
+// guarded member without its mutex, or releasing a lock on the wrong
+// path, becomes a build error in the thread-safety CI job instead of a
+// latent race. Off clang (gcc builds this repo too) every macro expands
+// to nothing.
+//
+// The annotations only mean something on the capability types declared
+// in util/sync.h (Mutex, SharedMutex, CondVar and their scoped guards);
+// raw std::mutex & friends are invisible to the analysis, which is why
+// tools/lint/check_concurrency.py bans them outside sync.h.
+//
+// Conventions (docs/concurrency.md has the full write-up):
+//   - every mutex-protected member:        T x_ KBIPLEX_GUARDED_BY(mu_);
+//   - every pointee protected by a mutex:  T* p_ KBIPLEX_PT_GUARDED_BY(mu_);
+//   - private helpers called under a lock: void F() KBIPLEX_REQUIRES(mu_);
+//   - intentionally unguarded members carry a NOLINT(kbiplex-guarded-by)
+//     comment naming the reason (lifecycle-owned, internally
+//     synchronized, const-after-start).
+#ifndef KBIPLEX_UTIL_THREAD_ANNOTATIONS_H_
+#define KBIPLEX_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define KBIPLEX_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef KBIPLEX_THREAD_ANNOTATION
+#define KBIPLEX_THREAD_ANNOTATION(x)  // expands to nothing off clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex" in diagnostics).
+#define KBIPLEX_CAPABILITY(x) KBIPLEX_THREAD_ANNOTATION(capability(x))
+
+/// Marks a guard type that acquires in its constructor and releases in
+/// its destructor (MutexLock, SharedLock, ...).
+#define KBIPLEX_SCOPED_CAPABILITY KBIPLEX_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding `x` (shared access
+/// suffices for reads when `x` is a SharedMutex).
+#define KBIPLEX_GUARDED_BY(x) KBIPLEX_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x` (the pointer itself
+/// may be read freely).
+#define KBIPLEX_PT_GUARDED_BY(x) KBIPLEX_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that must be called with the listed capabilities held
+/// exclusively; they stay held across the call.
+#define KBIPLEX_REQUIRES(...) \
+  KBIPLEX_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that must be called with the listed capabilities held at
+/// least shared.
+#define KBIPLEX_REQUIRES_SHARED(...) \
+  KBIPLEX_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function that acquires the listed capabilities exclusively and does
+/// not release them before returning.
+#define KBIPLEX_ACQUIRE(...) \
+  KBIPLEX_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Shared-mode counterpart of KBIPLEX_ACQUIRE.
+#define KBIPLEX_ACQUIRE_SHARED(...) \
+  KBIPLEX_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function that releases capabilities held on entry (exclusive mode).
+#define KBIPLEX_RELEASE(...) \
+  KBIPLEX_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Shared-mode counterpart of KBIPLEX_RELEASE.
+#define KBIPLEX_RELEASE_SHARED(...) \
+  KBIPLEX_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function that must NOT be called with the listed capabilities held
+/// (deadlock prevention: it acquires them itself).
+#define KBIPLEX_EXCLUDES(...) \
+  KBIPLEX_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Return value: a reference to the capability guarding the class.
+#define KBIPLEX_RETURN_CAPABILITY(x) \
+  KBIPLEX_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for code the analysis cannot follow (e.g. adopting a
+/// lock held by construction). Use sparingly and justify in a comment.
+#define KBIPLEX_NO_THREAD_SAFETY_ANALYSIS \
+  KBIPLEX_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // KBIPLEX_UTIL_THREAD_ANNOTATIONS_H_

@@ -14,24 +14,24 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push_back(std::move(task));
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+  MutexLock lock(&mu_);
+  while (!queue_.empty() || running_ != 0) idle_cv_.Wait(&mu_);
 }
 
 size_t ThreadPool::HardwareThreads() {
@@ -40,18 +40,22 @@ size_t ThreadPool::HardwareThreads() {
 }
 
 void ThreadPool::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-    if (queue_.empty()) return;  // shutdown with a drained queue
-    std::function<void()> task = std::move(queue_.front());
-    queue_.pop_front();
-    ++running_;
-    lock.unlock();
+    std::function<void()> task;
+    {
+      MutexLock lock(&mu_);
+      while (!shutdown_ && queue_.empty()) work_cv_.Wait(&mu_);
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
     task();
-    lock.lock();
-    --running_;
-    if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+    {
+      MutexLock lock(&mu_);
+      --running_;
+      if (queue_.empty() && running_ == 0) idle_cv_.NotifyAll();
+    }
   }
 }
 

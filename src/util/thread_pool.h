@@ -5,13 +5,14 @@
 #ifndef KBIPLEX_UTIL_THREAD_POOL_H_
 #define KBIPLEX_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace kbiplex {
 
@@ -33,10 +34,10 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues one task.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) KBIPLEX_EXCLUDES(mu_);
 
   /// Blocks until every task submitted so far has finished.
-  void Wait();
+  void Wait() KBIPLEX_EXCLUDES(mu_);
 
   size_t NumThreads() const { return workers_.size(); }
 
@@ -45,14 +46,17 @@ class ThreadPool {
   static size_t HardwareThreads();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() KBIPLEX_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // signals workers: task or shutdown
-  std::condition_variable idle_cv_;   // signals Wait(): everything drained
-  std::deque<std::function<void()>> queue_;
-  size_t running_ = 0;  // tasks currently executing
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar work_cv_;  // signals workers: task or shutdown
+  CondVar idle_cv_;  // signals Wait(): everything drained
+  std::deque<std::function<void()>> queue_ KBIPLEX_GUARDED_BY(mu_);
+  size_t running_ KBIPLEX_GUARDED_BY(mu_) = 0;  // tasks currently executing
+  bool shutdown_ KBIPLEX_GUARDED_BY(mu_) = false;
+  // Written only by the constructor, before any worker exists; joined by
+  // the destructor after shutdown. Size reads (NumThreads) are safe on
+  // the immutable vector.
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,306 @@
+#!/usr/bin/env python3
+"""Concurrency lint for the kbiplex tree.
+
+Two rules keep every lock visible to clang's thread-safety analysis
+(docs/concurrency.md):
+
+  A. Raw standard synchronization primitives (std::mutex,
+     std::shared_mutex, std::condition_variable and their lock RAII
+     types) are banned everywhere under src/ and tools/ except inside
+     src/util/sync.h, the one file that wraps them into the annotated
+     Mutex / SharedMutex / CondVar types.
+
+  B. In any class that declares a Mutex or SharedMutex member, every
+     other data member must either carry KBIPLEX_GUARDED_BY /
+     KBIPLEX_PT_GUARDED_BY, be exempt by type (const members, statics,
+     std::atomic, std::thread, std::once_flag, the sync wrapper types
+     themselves), or carry an explicit
+        // NOLINT(kbiplex-guarded-by): <reason>
+     waiver stating why the member needs no lock.
+
+The member scan is a heuristic (regex + brace matching, not a real C++
+parser): it intentionally favors false negatives over false positives, so
+an unflagged member is not a proof of safety — clang -Wthread-safety is
+the authority; this lint catches the annotation *gaps* that analysis
+cannot see (a member nobody annotated is invisible to -Wthread-safety).
+
+Usage:
+  tools/lint/check_concurrency.py [--root DIR]   # lint the tree
+  tools/lint/check_concurrency.py --self-test    # verify the lint fires
+"""
+
+import argparse
+import os
+import re
+import sys
+
+RAW_PRIMITIVE = re.compile(
+    r"\bstd::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"recursive_timed_mutex|shared_timed_mutex|condition_variable(_any)?|"
+    r"lock_guard|unique_lock|shared_lock|scoped_lock)\b"
+)
+
+# A *value* member of an annotated wrapper type ("Mutex mu_;"), not a
+# pointer/reference to one ("Mutex* const mu_;" in the RAII helpers).
+WRAPPER_MUTEX_MEMBER = re.compile(
+    r"(^|\s)(mutable\s+)?(kbiplex::)?(Mutex|SharedMutex)\s+[A-Za-z_]\w*\s*(;|$)"
+)
+
+GUARD_ANNOTATION = re.compile(r"\bKBIPLEX_(PT_)?GUARDED_BY\b")
+NOLINT_TOKEN = "KBIPLEX_NOLINT_GUARDED_BY_TOKEN"
+NOLINT_COMMENT = re.compile(r"//\s*NOLINT\(kbiplex-guarded-by\)")
+
+# Type-based exemptions: members that synchronize themselves, are
+# immutable, or are only touched by their owning thread by construction.
+EXEMPT_TYPE = re.compile(
+    r"\bconst\b|\bstatic\b|\bconstexpr\b|std::atomic\b|std::thread\b|"
+    r"std::once_flag\b|\b(kbiplex::)?(Mutex|SharedMutex|CondVar)\b"
+)
+
+# Statements that are not data members at all.
+NON_MEMBER = re.compile(
+    r"^\s*(using\b|typedef\b|friend\b|enum\b|class\b|struct\b|template\b|"
+    r"public:|private:|protected:|#|KBIPLEX_\w+$|$)"
+)
+
+
+def strip_comments(text):
+    """Removes // and /* */ comments, preserving line structure.
+
+    A // NOLINT(kbiplex-guarded-by) comment is replaced by a magic token
+    so rule B can still see the waiver after stripping.
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch == '"':  # string literal
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 2 if text[j] == "\\" else 1
+            out.append(text[i : j + 1])
+            i = j + 1
+        elif text.startswith("//", i):
+            j = text.find("\n", i)
+            if j < 0:
+                j = n
+            if NOLINT_COMMENT.search(text[i:j]):
+                out.append(" " + NOLINT_TOKEN)
+            i = j
+        elif text.startswith("/*", i):
+            j = text.find("*/", i)
+            j = n if j < 0 else j + 2
+            out.append("\n" * text.count("\n", i, j))  # keep line numbers
+            i = j
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def class_bodies(text):
+    """Yields (header_line, body_text) for each class/struct definition."""
+    for m in re.finditer(r"\b(class|struct)\b[^;{()]*\{", text):
+        depth = 1
+        i = m.end()
+        while i < len(text) and depth > 0:
+            if text[i] == "{":
+                depth += 1
+            elif text[i] == "}":
+                depth -= 1
+            i += 1
+        yield text.count("\n", 0, m.start()) + 1, text[m.end() : i - 1]
+
+
+def top_level_statements(body):
+    """Splits a class body into top-level statements (inline function
+    bodies and nested classes collapse into their statement)."""
+    statements, depth, start = [], 0, 0
+    for i, ch in enumerate(body):
+        if ch in "{(":
+            depth += 1
+        elif ch in "})":
+            depth -= 1
+        elif ch == ";" and depth == 0:
+            statements.append(body[start:i])
+            start = i + 1
+    return statements
+
+
+def strip_templates_and_macros(stmt):
+    """Drops <...> template arguments and KBIPLEX_*(...) macro calls so a
+    leftover '(' reliably means "function declaration"."""
+    stmt = re.sub(r"KBIPLEX_\w+\s*\([^()]*\)", " KBIPLEX_STRIPPED", stmt)
+    # Balanced angle brackets, innermost-out, few passes suffice here.
+    for _ in range(8):
+        reduced = re.sub(r"<[^<>]*>", "", stmt)
+        if reduced == stmt:
+            break
+        stmt = reduced
+    return stmt
+
+
+def lint_rule_a(path, text, report):
+    if path.replace(os.sep, "/").endswith("src/util/sync.h"):
+        return
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if RAW_PRIMITIVE.search(line):
+            report(
+                path,
+                lineno,
+                "raw standard sync primitive; use Mutex/SharedMutex/CondVar "
+                "from src/util/sync.h (rule A)",
+            )
+
+
+def lint_rule_b(path, text, report):
+    for header_line, body in class_bodies(text):
+        statements = [s for s in top_level_statements(body) if s.strip()]
+        stripped = [strip_templates_and_macros(s) for s in statements]
+        # A statement containing '{' is a nested class or an inline
+        # function body — a Mutex inside it belongs to that scope (the
+        # nested class gets its own class_bodies pass), not to this one.
+        if not any(
+            WRAPPER_MUTEX_MEMBER.search(s)
+            for s in stripped
+            if "{" not in s
+        ):
+            continue
+        offset = 0  # line offset of each statement within the body
+        for idx, (raw, stmt) in enumerate(zip(statements, stripped)):
+            stmt_line = header_line + body.count("\n", 0, offset + len(raw))
+            offset += len(raw) + 1
+            # A trailing "// NOLINT..." comment sits after the ';', so its
+            # token opens the *next* statement chunk.
+            trailer = ""
+            if idx + 1 < len(statements):
+                trailer = statements[idx + 1].split("\n", 1)[0]
+            flat = " ".join(stmt.split())
+            # Leading access specifiers glom onto the next statement.
+            flat = re.sub(r"^(public:|private:|protected:)\s*", "", flat)
+            if NON_MEMBER.match(flat):
+                continue
+            if "(" in flat:  # function/constructor declaration
+                continue
+            if not re.search(r"[A-Za-z_]\w*(\[\d*\])?\s*(=[^=].*)?$", flat):
+                continue
+            if GUARD_ANNOTATION.search(raw):
+                continue
+            if NOLINT_TOKEN in raw or NOLINT_TOKEN in trailer:
+                continue
+            # Exemptions match the raw statement: template stripping would
+            # hide std::thread in std::vector<std::thread>.
+            if EXEMPT_TYPE.search(raw):
+                continue
+            report(
+                path,
+                stmt_line,
+                "member '%s' of a mutex-bearing class lacks "
+                "KBIPLEX_GUARDED_BY / KBIPLEX_PT_GUARDED_BY or a "
+                "NOLINT(kbiplex-guarded-by) waiver (rule B)" % flat[:60],
+            )
+
+
+def lint_file(path, text, report):
+    stripped = strip_comments(text)
+    lint_rule_a(path, stripped, report)
+    lint_rule_b(path, stripped, report)
+
+
+def lint_tree(root):
+    findings = []
+
+    def report(path, lineno, message):
+        findings.append("%s:%d: %s" % (os.path.relpath(path, root), lineno,
+                                       message))
+
+    for subdir in ("src", "tools"):
+        for dirpath, _, filenames in os.walk(os.path.join(root, subdir)):
+            for name in sorted(filenames):
+                if not name.endswith((".h", ".cc")):
+                    continue
+                path = os.path.join(dirpath, name)
+                with open(path, encoding="utf-8") as f:
+                    lint_file(path, f.read(), report)
+    return findings
+
+
+SELF_TEST_BAD = """
+#include <mutex>
+class Broken {
+ public:
+  void Touch();
+ private:
+  Mutex mu_;
+  int unguarded_counter_;
+  std::mutex raw_;
+};
+"""
+
+SELF_TEST_GOOD = """
+class Fine {
+ private:
+  Mutex mu_;
+  int counter_ KBIPLEX_GUARDED_BY(mu_) = 0;
+  std::atomic<int> hits_{0};
+  const int capacity_ = 4;
+  WallTimer uptime_;  // NOLINT(kbiplex-guarded-by): immutable start time
+  std::vector<std::thread> workers_;
+  CondVar cv_;
+};
+class Raii {
+ private:
+  Mutex* const mu_;  // pointer member must not trip the Mutex detector
+};
+"""
+
+
+def self_test():
+    failures = []
+
+    def expect(name, text, want_substrings):
+        found = []
+        lint_file("self_test.h", text, lambda p, l, m: found.append(m))
+        for want in want_substrings:
+            if not any(want in m for m in found):
+                failures.append("%s: expected a finding containing %r, got %r"
+                                % (name, want, found))
+        if not want_substrings and found:
+            failures.append("%s: expected no findings, got %r" % (name, found))
+
+    expect("bad-class", SELF_TEST_BAD,
+           ["unguarded_counter_", "raw standard sync primitive"])
+    expect("good-class", SELF_TEST_GOOD, [])
+    if failures:
+        print("SELF-TEST FAILED")
+        for f in failures:
+            print("  " + f)
+        return 1
+    print("self-test passed: lint fires on unannotated mutex members and "
+          "raw primitives, stays quiet on annotated ones")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: two dirs above this file)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the lint detects seeded violations")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    findings = lint_tree(root)
+    if findings:
+        print("concurrency lint: %d finding(s)" % len(findings))
+        for f in findings:
+            print("  " + f)
+        return 1
+    print("concurrency lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
