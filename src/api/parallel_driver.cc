@@ -7,6 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "api/parallel_support.h"
+#include "api/traversal_scheduler.h"
 #include "baselines/imb.h"
 #include "core/brute_force.h"
 #include "graph/components.h"
@@ -19,75 +21,6 @@
 namespace kbiplex {
 namespace internal {
 namespace {
-
-/// The workers' shared delivery point: serializes sink access, counts
-/// delivered solutions with an atomic, and turns a global stop condition
-/// (result cap, sink refusal) into a cancellation visible to every worker.
-class SharedDelivery {
- public:
-  SharedDelivery(const EnumerateRequest& request, SolutionSink* sink,
-                 CancellationToken* stop)
-      : request_(request), sink_(sink), stop_(stop) {}
-
-  /// Thread-safe Deliver with the same semantics as the sequential
-  /// facade: threshold filter, then sink, then the result cap; a solution
-  /// counts as delivered only once the sink accepted it.
-  bool Deliver(const Biplex& b) {
-    if (b.left.size() < request_.theta_left ||
-        b.right.size() < request_.theta_right) {
-      return true;
-    }
-    MutexLock lock(&mu_);
-    if (stopped_) return false;
-    if (!sink_->Accept(b)) {
-      Stop();
-      return false;
-    }
-    const uint64_t n = delivered_.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (request_.max_results != 0 && n >= request_.max_results) {
-      Stop();
-      return false;
-    }
-    return true;
-  }
-
-  uint64_t delivered() const {
-    return delivered_.load(std::memory_order_relaxed);
-  }
-
- private:
-  void Stop() KBIPLEX_REQUIRES(mu_) {
-    stopped_ = true;
-    stop_->Cancel();
-  }
-
-  const EnumerateRequest& request_;
-  SolutionSink* const sink_ KBIPLEX_PT_GUARDED_BY(mu_);
-  CancellationToken* const stop_;  // CancellationToken is atomic
-  Mutex mu_;
-  std::atomic<uint64_t> delivered_{0};
-  bool stopped_ KBIPLEX_GUARDED_BY(mu_) = false;
-};
-
-/// Collects the first error raised by any worker (engine rejection or a
-/// propagated exception; engines do not throw in normal operation).
-class ErrorCollector {
- public:
-  void Record(const std::string& error) {
-    if (error.empty()) return;
-    MutexLock lock(&mu_);
-    if (error_.empty()) error_ = error;
-  }
-
-  std::string Take() {
-    MutexLock lock(&mu_);
-    return error_;
-  }
-
- private:
-  Mutex mu_;
-  std::string error_ KBIPLEX_GUARDED_BY(mu_);
-};
 
 /// Runs `body` as a pool task, converting an escaping exception into a
 /// recorded error instead of a process abort.
@@ -121,26 +54,6 @@ std::optional<std::string> RejectOptions(const EnumerateRequest& request) {
 }
 
 // ------------------------------------------------------- stats merging ---
-
-void MergeInto(TraversalStats* into, const TraversalStats& s) {
-  into->solutions_found += s.solutions_found;
-  into->solutions_emitted += s.solutions_emitted;
-  into->links += s.links;
-  into->links_pruned_right_shrinking += s.links_pruned_right_shrinking;
-  into->links_pruned_exclusion += s.links_pruned_exclusion;
-  into->almost_sat_graphs += s.almost_sat_graphs;
-  into->local_solutions += s.local_solutions;
-  into->dedup_hits += s.dedup_hits;
-  into->candidates_generated += s.candidates_generated;
-  into->candidates_pruned += s.candidates_pruned;
-  into->local_stats.b_subsets += s.local_stats.b_subsets;
-  into->local_stats.a_subsets += s.local_stats.a_subsets;
-  into->local_stats.local_solutions += s.local_stats.local_solutions;
-  into->local_stats.adjacency_tests += s.local_stats.adjacency_tests;
-  into->completed = into->completed && s.completed;
-  into->seconds += s.seconds;  // aggregate worker time, not wall clock
-  into->max_stack_depth = std::max(into->max_stack_depth, s.max_stack_depth);
-}
 
 /// Folds the per-shard unified stats of the component plan into one
 /// result. Counters add up; `completed` holds iff every shard completed;
@@ -250,23 +163,15 @@ EnumerateStats RunParallelBruteForce(const BipartiteGraph& g,
 
 // ------------------------------------------------- imb: root branches ----
 
-/// The time budget is global: a shard dequeued late must not restart the
-/// clock, so each one gets the budget *remaining* on the driver's timer
-/// when it actually starts. Returns false when the budget is already
-/// spent and the shard should not run at all.
-bool RemainingBudget(const EnumerateRequest& request, const WallTimer& timer,
-                     double* remaining) {
-  *remaining = 0;  // 0 = unlimited
-  if (request.time_budget_seconds <= 0) return true;
-  *remaining = request.time_budget_seconds - timer.ElapsedSeconds();
-  return *remaining > 0;
-}
-
 EnumerateStats RunParallelImb(const BipartiteGraph& g,
                               const EnumerateRequest& request, size_t threads,
                               SolutionSink* sink) {
   if (auto err = RejectOptions(request)) return RejectedStats(*err);
   WallTimer timer;
+  // Empty graph: SplitRange(0, n) emits one (0, 0) shard, and the backend
+  // reports the empty biplex from the root_begin == 0 shard — exactly the
+  // sequential result. No special case needed; the shard path below is
+  // pinned by ParallelImb.EmptyGraphIsATrivialNoOp.
   CancellationToken stop(request.cancellation);
   SharedDelivery delivery(request, sink, &stop);
   ErrorCollector errors;
@@ -284,7 +189,12 @@ EnumerateStats RunParallelImb(const BipartiteGraph& g,
         opts.theta_right = request.theta_right;
         opts.max_results = request.max_results;
         if (!RemainingBudget(request, timer, &opts.time_budget_seconds)) {
+          // A skipped shard must still carry the imb detail block:
+          // otherwise the merged stats' JSON schema would depend on which
+          // shard the expiring budget happened to hit first.
           shard_stats[i].completed = false;
+          shard_stats[i].imb.emplace();
+          shard_stats[i].imb->completed = false;
           return;
         }
         opts.cancel = &stop;
@@ -338,9 +248,15 @@ class MappingSink final : public SolutionSink {
   const InducedSubgraph& component_;
 };
 
+/// `min_shards` is the number of eligible components below which the plan
+/// declines: 2 (the historical floor — any split beats none) when this is
+/// the only parallel plan for the algorithm, `threads` when a
+/// work-stealing fallback exists and a component split that cannot keep
+/// every worker busy should yield to it.
 std::optional<EnumerateStats> TryRunParallelComponents(
     const PreparedGraph& prepared, const EnumerateRequest& request,
-    const AlgorithmRegistry& registry, size_t threads, SolutionSink* sink) {
+    const AlgorithmRegistry& registry, size_t threads, SolutionSink* sink,
+    size_t min_shards) {
   if (!ComponentShardingIsSafe(request.k, request.theta_left,
                                request.theta_right)) {
     return std::nullopt;
@@ -375,7 +291,9 @@ std::optional<EnumerateStats> TryRunParallelComponents(
       shard_of[c] = num_shards++;
     }
   }
-  if (num_shards < 2) return std::nullopt;
+  if (static_cast<size_t>(num_shards) < std::max<size_t>(2, min_shards)) {
+    return std::nullopt;
+  }
 
   // Every component, materialized once on the prepared graph and shared
   // by all subsequent component-sharded queries; this query only indexes
@@ -489,8 +407,33 @@ std::optional<EnumerateStats> TryRunParallel(const PreparedGraph& prepared,
     return RunParallelBruteForce(g, request, threads, sink);
   }
   if (info.name == "imb") {
-    if (g.NumLeft() + g.NumRight() < 2) return std::nullopt;
+    // Single root: nothing to split, run sequentially. The empty graph
+    // (0 roots) stays on the parallel plan so its result and stats schema
+    // match any other parallel imb run; its sole (0, 0) shard reports the
+    // empty biplex exactly like the sequential backend.
+    if (g.NumLeft() + g.NumRight() == 1) return std::nullopt;
     return RunParallelImb(g, request, threads, sink);
+  }
+  // Traversal family: prefer component sharding when the split alone can
+  // keep every worker busy; otherwise parallelize *inside* the (possibly
+  // single) component with the work-stealing expansion scheduler, which
+  // needs no sharding-safety precondition. A partial component split
+  // (2 <= shards < threads) remains the last resort for requests the
+  // scheduler declines (backend options, max_links).
+  if (info.name == "itraversal" || info.name == "itraversal-es" ||
+      info.name == "itraversal-es-rs" || info.name == "btraversal" ||
+      info.name == "large-mbp") {
+    if (auto components = TryRunParallelComponents(
+            prepared, request, registry, threads, sink,
+            /*min_shards=*/threads)) {
+      return components;
+    }
+    if (auto scheduled =
+            TryRunTraversalScheduler(g, request, info.name, threads, sink)) {
+      return scheduled;
+    }
+    return TryRunParallelComponents(prepared, request, registry, threads,
+                                    sink, /*min_shards=*/2);
   }
   // Like the component plan's max_links guard, the inflation baseline's
   // max_inflated_edges is a per-enumeration memory guard: copying it into
@@ -501,7 +444,7 @@ std::optional<EnumerateStats> TryRunParallel(const PreparedGraph& prepared,
     return std::nullopt;
   }
   return TryRunParallelComponents(prepared, request, registry, threads,
-                                  sink);
+                                  sink, /*min_shards=*/2);
 }
 
 }  // namespace internal

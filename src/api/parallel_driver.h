@@ -12,6 +12,13 @@
 //                   top-level branches are independent, so a partition of
 //                   them across workers is disjoint and complete. Always
 //                   available.
+//   traversal       work-stealing expansion (api/traversal_scheduler.h):
+//   family,         workers expand one solution per task with private
+//   large-mbp       sequential engines, deduplicating through a shared
+//                   store — correct on any graph, including the dense
+//                   single-component case sharding cannot touch. Chosen
+//                   when component sharding (below) cannot keep every
+//                   worker busy.
 //   everything else connected-component sharding: each worker enumerates
 //   (traversal      one component's induced subgraph. Only equivalent
 //   family,         when the size thresholds provably exclude solutions

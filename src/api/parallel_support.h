@@ -1,0 +1,132 @@
+// Shared building blocks of the parallel execution plans (internal):
+// the serialized delivery point every plan funnels solutions through,
+// first-error collection across workers, traversal-counter merging, and
+// the global-wall-clock budget helper. Used by api/parallel_driver.cc
+// and api/traversal_scheduler.cc; not part of the public API.
+#ifndef KBIPLEX_API_PARALLEL_SUPPORT_H_
+#define KBIPLEX_API_PARALLEL_SUPPORT_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "api/enumerate_request.h"
+#include "api/solution_sink.h"
+#include "core/traversal_options.h"
+#include "util/cancellation.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
+#include "util/timer.h"
+
+namespace kbiplex {
+namespace internal {
+
+/// The workers' shared delivery point: serializes sink access, counts
+/// delivered solutions with an atomic, and turns a global stop condition
+/// (result cap, sink refusal) into a cancellation visible to every worker.
+class SharedDelivery {
+ public:
+  SharedDelivery(const EnumerateRequest& request, SolutionSink* sink,
+                 CancellationToken* stop)
+      : request_(request), sink_(sink), stop_(stop) {}
+
+  /// Thread-safe Deliver with the same semantics as the sequential
+  /// facade: threshold filter, then sink, then the result cap; a solution
+  /// counts as delivered only once the sink accepted it.
+  bool Deliver(const Biplex& b) {
+    if (b.left.size() < request_.theta_left ||
+        b.right.size() < request_.theta_right) {
+      return true;
+    }
+    MutexLock lock(&mu_);
+    if (stopped_) return false;
+    if (!sink_->Accept(b)) {
+      Stop();
+      return false;
+    }
+    const uint64_t n = delivered_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (request_.max_results != 0 && n >= request_.max_results) {
+      Stop();
+      return false;
+    }
+    return true;
+  }
+
+  uint64_t delivered() const {
+    return delivered_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Stop() KBIPLEX_REQUIRES(mu_) {
+    stopped_ = true;
+    stop_->Cancel();
+  }
+
+  const EnumerateRequest& request_;
+  SolutionSink* const sink_ KBIPLEX_PT_GUARDED_BY(mu_);
+  CancellationToken* const stop_;  // CancellationToken is atomic
+  Mutex mu_;
+  std::atomic<uint64_t> delivered_{0};
+  bool stopped_ KBIPLEX_GUARDED_BY(mu_) = false;
+};
+
+/// Collects the first error raised by any worker (engine rejection or a
+/// propagated exception; engines do not throw in normal operation).
+class ErrorCollector {
+ public:
+  void Record(const std::string& error) {
+    if (error.empty()) return;
+    MutexLock lock(&mu_);
+    if (error_.empty()) error_ = error;
+  }
+
+  std::string Take() {
+    MutexLock lock(&mu_);
+    return error_;
+  }
+
+ private:
+  Mutex mu_;
+  std::string error_ KBIPLEX_GUARDED_BY(mu_);
+};
+
+/// Adds worker-local traversal counters into an accumulator. `completed`
+/// holds iff every contribution completed; `seconds` add up (aggregate
+/// worker time, not wall clock); stack depths take the maximum.
+inline void MergeInto(TraversalStats* into, const TraversalStats& s) {
+  into->solutions_found += s.solutions_found;
+  into->solutions_emitted += s.solutions_emitted;
+  into->links += s.links;
+  into->links_pruned_right_shrinking += s.links_pruned_right_shrinking;
+  into->links_pruned_exclusion += s.links_pruned_exclusion;
+  into->almost_sat_graphs += s.almost_sat_graphs;
+  into->local_solutions += s.local_solutions;
+  into->dedup_hits += s.dedup_hits;
+  into->candidates_generated += s.candidates_generated;
+  into->candidates_pruned += s.candidates_pruned;
+  into->local_stats.b_subsets += s.local_stats.b_subsets;
+  into->local_stats.a_subsets += s.local_stats.a_subsets;
+  into->local_stats.local_solutions += s.local_stats.local_solutions;
+  into->local_stats.adjacency_tests += s.local_stats.adjacency_tests;
+  into->completed = into->completed && s.completed;
+  into->seconds += s.seconds;  // aggregate worker time, not wall clock
+  into->max_stack_depth = std::max(into->max_stack_depth, s.max_stack_depth);
+}
+
+/// The time budget is global: a shard dequeued late must not restart the
+/// clock, so each one gets the budget *remaining* on the driver's timer
+/// when it actually starts. Returns false when the budget is already
+/// spent and the shard should not run at all.
+inline bool RemainingBudget(const EnumerateRequest& request,
+                            const WallTimer& timer, double* remaining) {
+  *remaining = 0;  // 0 = unlimited
+  if (request.time_budget_seconds <= 0) return true;
+  *remaining = request.time_budget_seconds - timer.ElapsedSeconds();
+  return *remaining > 0;
+}
+
+}  // namespace internal
+}  // namespace kbiplex
+
+#endif  // KBIPLEX_API_PARALLEL_SUPPORT_H_

@@ -9,6 +9,19 @@ std::vector<Biplex> CollectingSink::Take() {
   return std::move(solutions_);
 }
 
+bool SortingSink::Flush() {
+  std::sort(buffer_.begin(), buffer_.end());
+  bool ok = true;
+  for (const Biplex& b : buffer_) {
+    if (!inner_->Accept(b)) {
+      ok = false;
+      break;
+    }
+  }
+  buffer_.clear();
+  return ok;
+}
+
 bool StreamWriterSink::Accept(const Biplex& solution) {
   std::ostream& os = *out_;
   if (format_ == Format::kText) {

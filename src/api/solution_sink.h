@@ -135,6 +135,41 @@ class SynchronizedSink final : public SolutionSink {
   bool stopped_ KBIPLEX_GUARDED_BY(mu_) = false;
 };
 
+/// Buffers solutions and forwards them to an inner sink in the canonical
+/// biplex order (core/biplex.h operator<) on Flush(). Parallel runs
+/// deliver a deterministic solution *set* but a scheduling-dependent
+/// *order*; wrapping an order-sensitive sink (stream writers, diff-based
+/// comparisons) in a SortingSink makes the full output byte-identical
+/// across thread counts. The inner sink is not owned and must outlive the
+/// wrapper; a destructor does not flush — an unflushed buffer is
+/// discarded, so the owner decides whether a stopped run's partial batch
+/// is still worth emitting.
+class SortingSink final : public SolutionSink {
+ public:
+  explicit SortingSink(SolutionSink* inner) : inner_(inner) {}
+
+  bool Accept(const Biplex& solution) override {
+    buffer_.push_back(solution);
+    return true;
+  }
+
+  /// Buffering tolerates worker threads (calls are serialized upstream).
+  bool ThreadCompatible() const override { return true; }
+
+  size_t buffered() const { return buffer_.size(); }
+
+  /// Sorts the buffer and forwards every solution to the inner sink, in
+  /// order, stopping early if the inner sink refuses one. Returns false
+  /// on such a refusal. The buffer is emptied either way; Flush may be
+  /// called repeatedly (each call emits the batch accepted since the
+  /// previous one).
+  bool Flush();
+
+ private:
+  SolutionSink* const inner_;
+  std::vector<Biplex> buffer_;
+};
+
 /// Streams solutions to an output stream as they arrive.
 class StreamWriterSink final : public SolutionSink {
  public:

@@ -1,0 +1,278 @@
+#include "api/traversal_scheduler.h"
+
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "api/parallel_support.h"
+#include "core/btraversal.h"
+#include "core/itraversal.h"
+#include "core/large_mbp.h"
+#include "core/solution_store.h"
+#include "core/traversal_scratch.h"
+#include "graph/adjacency_index.h"
+#include "graph/core_decomposition.h"
+#include "util/cancellation.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
+#include "util/timer.h"
+#include "util/work_stealing.h"
+
+namespace kbiplex {
+namespace internal {
+namespace {
+
+/// The workers' shared deduplication store. Reverse search recurses only
+/// on first discovery; under the scheduler "first" is decided by this
+/// store (exactly one worker wins the insert of a solution and schedules
+/// its expansion), which is what keeps every solution expanded once.
+class SharedStore {
+ public:
+  /// Returns true iff `b` was not present (the caller won the discovery).
+  bool Insert(const Biplex& b) {
+    MutexLock lock(&mu_);
+    return store_.Insert(b);
+  }
+
+ private:
+  Mutex mu_;
+  SolutionStore store_ KBIPLEX_GUARDED_BY(mu_);
+};
+
+/// Base engine configuration of a traversal-family algorithm, or nullopt
+/// for names this plan does not serve. Exclusion is always disabled: it
+/// prunes links based on the DFS path, which no per-task expansion has;
+/// the link *targets* it skips are reached through other links, so the
+/// closure — the solution set — is unchanged (the itraversal vs
+/// itraversal-es agreement tests pin this equivalence).
+std::optional<TraversalOptions> BaseOptions(const std::string& algorithm) {
+  std::optional<TraversalOptions> base;
+  if (algorithm == "itraversal") {
+    base = MakeITraversalOptions(1);
+  } else if (algorithm == "itraversal-es") {
+    base = MakeITraversalNoExclusionOptions(1);
+  } else if (algorithm == "itraversal-es-rs") {
+    base = MakeITraversalLeftAnchoredOnlyOptions(1);
+  } else if (algorithm == "btraversal") {
+    base = MakeBTraversalOptions(1);
+  } else if (algorithm == "large-mbp") {
+    base = MakeITraversalOptions(1);  // mirrors core/large_mbp.cc
+  }
+  if (base.has_value()) base->exclusion = false;
+  return base;
+}
+
+/// Everything one scheduled run shares across its workers.
+struct SchedulerRun {
+  std::atomic<uint64_t> found{0};  // unique solutions (store inserts)
+  std::atomic<uint64_t> dedup{0};  // links to already-known solutions
+  // Set on any early stop (budget, cancellation, result cap, sink stop):
+  // queued tasks may have been abandoned, so the run must report
+  // completed = false even though no engine saw its own stop flag flip.
+  std::atomic<bool> truncated{false};
+  SharedStore store;
+};
+
+/// Expands solutions with `threads` private engines over `g` until the
+/// closure of the initial solution is exhausted (or a global budget
+/// fires), delivering through `delivery`. Returns the merged traversal
+/// counters; `run` reports found/dedup/truncated to the caller.
+TraversalStats RunScheduled(const BipartiteGraph& g, const TraversalOptions& base,
+                            const EnumerateRequest& request, size_t threads,
+                            const Deadline& deadline, CancellationToken* stop,
+                            SharedDelivery* delivery, ErrorCollector* errors,
+                            SchedulerRun* run) {
+  // One adjacency index serves every worker (the index is immutable and
+  // the engines only read it), mirroring the sequential kAuto policy; a
+  // graph with an attached index keeps serving it to each engine.
+  std::unique_ptr<AdjacencyIndex> shared_index;
+  if (g.adjacency_index() == nullptr && g.NumEdges() >= kAutoIndexMinEdges) {
+    shared_index = std::make_unique<AdjacencyIndex>(g);
+  }
+
+  // Per-worker engines with private scratch (a scratch must never be
+  // shared between concurrently running engines). std::deque keeps the
+  // scratch addresses stable while constructing the engines.
+  std::deque<TraversalScratch> scratches(threads);
+  std::vector<std::unique_ptr<TraversalEngine>> engines;
+  engines.reserve(threads);
+  for (size_t w = 0; w < threads; ++w) {
+    TraversalOptions opts = base;
+    opts.k = request.k;
+    opts.theta_left = request.theta_left;
+    opts.theta_right = request.theta_right;
+    opts.prune_small =
+        opts.right_shrinking &&
+        (request.theta_left > 0 || request.theta_right > 0);
+    // Budgets are global, enforced by the driver's deadline and shared
+    // delivery; a per-worker copy would multiply them.
+    opts.max_results = 0;
+    opts.time_budget_seconds = 0;
+    opts.cancel = stop;
+    opts.shared_adjacency = shared_index.get();
+    opts.scratch = &scratches[w];
+    engines.push_back(std::make_unique<TraversalEngine>(g, opts));
+  }
+
+  WorkStealingScheduler<Biplex> sched(threads);
+
+  // Seed: the initial solution is itself a member of the set.
+  Biplex h0 = engines[0]->InitialSolution();
+  run->store.Insert(h0);
+  run->found.fetch_add(1, std::memory_order_relaxed);
+  if (!delivery->Deliver(h0)) {
+    run->truncated.store(true, std::memory_order_relaxed);
+  } else if (engines[0]->ShouldExpand(h0)) {
+    sched.Push(0, std::move(h0));
+  }
+
+  sched.Run([&](size_t w, Biplex&& h) {
+    try {
+      if (deadline.Expired() || stop->IsCancelled()) {
+        run->truncated.store(true, std::memory_order_relaxed);
+        sched.Stop();
+        return;
+      }
+      TraversalEngine* engine = engines[w].get();
+      const bool ok =
+          engine->ExpandSolution(h, &deadline, [&](Biplex&& sol) {
+            if (!run->store.Insert(sol)) {
+              run->dedup.fetch_add(1, std::memory_order_relaxed);
+              return true;
+            }
+            run->found.fetch_add(1, std::memory_order_relaxed);
+            if (!delivery->Deliver(sol)) {
+              run->truncated.store(true, std::memory_order_relaxed);
+              return false;
+            }
+            if (engine->ShouldExpand(sol)) sched.Push(w, std::move(sol));
+            return true;
+          });
+      if (!ok) {
+        run->truncated.store(true, std::memory_order_relaxed);
+        sched.Stop();
+      }
+    } catch (const std::exception& e) {
+      errors->Record(std::string("worker failed: ") + e.what());
+      sched.Stop();
+    } catch (...) {
+      errors->Record("worker failed with an unknown exception");
+      sched.Stop();
+    }
+  });
+
+  TraversalStats merged;
+  for (auto& engine : engines) MergeInto(&merged, engine->TakeExpandStats());
+  merged.solutions_found = run->found.load(std::memory_order_relaxed);
+  merged.dedup_hits = run->dedup.load(std::memory_order_relaxed);
+  merged.solutions_emitted = delivery->delivered();
+  merged.completed =
+      merged.completed && !run->truncated.load(std::memory_order_relaxed);
+  return merged;
+}
+
+/// Translates core-subgraph ids back to original ids before forwarding to
+/// the caller's sink. Placed *inside* the shared delivery (which
+/// serializes Accept and re-checks only id-independent thresholds), so it
+/// needs no locking of its own.
+class CoreMappingSink final : public SolutionSink {
+ public:
+  CoreMappingSink(SolutionSink* inner, const InducedSubgraph& core)
+      : inner_(inner), core_(core) {}
+
+  bool Accept(const Biplex& solution) override {
+    Biplex mapped;
+    mapped.left.reserve(solution.left.size());
+    for (VertexId v : solution.left) mapped.left.push_back(core_.left_map[v]);
+    mapped.right.reserve(solution.right.size());
+    for (VertexId u : solution.right) {
+      mapped.right.push_back(core_.right_map[u]);
+    }
+    // Maps are monotone (Induce preserves order), so sets stay sorted.
+    return inner_->Accept(mapped);
+  }
+
+  bool ThreadCompatible() const override { return true; }
+
+ private:
+  SolutionSink* const inner_;
+  const InducedSubgraph& core_;
+};
+
+}  // namespace
+
+std::optional<EnumerateStats> TryRunTraversalScheduler(
+    const BipartiteGraph& g, const EnumerateRequest& request,
+    const std::string& algorithm, size_t threads, SolutionSink* sink) {
+  std::optional<TraversalOptions> base = BaseOptions(algorithm);
+  if (!base.has_value()) return std::nullopt;
+  // Backend options reconfigure the engines (anchored side, local
+  // refinements, store backend, ...) in ways this plan does not
+  // replicate; max_links is an engine-internal counter a per-worker copy
+  // would multiply. Both fall back to plans that honor them.
+  if (!request.backend_options.empty()) return std::nullopt;
+  if (request.max_links != 0) return std::nullopt;
+  // An edgeless graph has (at most) one trivial solution; scheduling
+  // overhead cannot pay for itself and the sequential path is exact.
+  if (g.NumEdges() == 0) return std::nullopt;
+
+  WallTimer timer;
+  Deadline deadline(request.time_budget_seconds);
+  CancellationToken stop(request.cancellation);
+  ErrorCollector errors;
+  SchedulerRun run;
+
+  EnumerateStats out;
+  if (algorithm == "large-mbp") {
+    // Mirror the sequential engine's (θ−k)-core pre-reduction
+    // (core/large_mbp.cc): every large MBP survives the reduction.
+    const size_t kl = static_cast<size_t>(request.k.left);
+    const size_t kr = static_cast<size_t>(request.k.right);
+    const size_t alpha =
+        request.theta_right > kl ? request.theta_right - kl : 0;
+    const size_t beta = request.theta_left > kr ? request.theta_left - kr : 0;
+    InducedSubgraph core = AlphaBetaCoreSubgraph(g, alpha, beta);
+    LargeMbpStats ls;
+    ls.core_left = core.graph.NumLeft();
+    ls.core_right = core.graph.NumRight();
+    if (core.graph.NumLeft() < request.theta_left ||
+        core.graph.NumRight() < request.theta_right) {
+      ls.seconds = timer.ElapsedSeconds();
+      out.large_mbp = ls;
+      out.seconds = timer.ElapsedSeconds();
+      return out;  // no large MBP can exist
+    }
+    CoreMappingSink mapping(sink, core);
+    SharedDelivery delivery(request, &mapping, &stop);
+    ls.traversal = RunScheduled(core.graph, *base, request, threads, deadline,
+                                &stop, &delivery, &errors, &run);
+    ls.completed = ls.traversal.completed;
+    ls.seconds = timer.ElapsedSeconds();
+    out.large_mbp = ls;
+    out.work_units = ls.traversal.links;
+    out.completed = ls.completed;
+    out.solutions = delivery.delivered();
+  } else {
+    SharedDelivery delivery(request, sink, &stop);
+    TraversalStats ts = RunScheduled(g, *base, request, threads, deadline,
+                                     &stop, &delivery, &errors, &run);
+    ts.seconds = timer.ElapsedSeconds();
+    out.traversal = ts;
+    out.work_units = ts.links;
+    out.completed = ts.completed;
+    out.solutions = delivery.delivered();
+  }
+  if (std::string err = errors.Take(); !err.empty()) {
+    out = EnumerateStats();
+    out.error = std::move(err);
+    out.completed = false;
+    return out;
+  }
+  out.seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace internal
+}  // namespace kbiplex

@@ -1,0 +1,58 @@
+// Work-stealing intra-component parallel plan for the traversal family.
+//
+// Component sharding (api/parallel_driver.h) is powerless on the common
+// hard case — one dense connected component — because it can only hand
+// whole components to workers. This plan parallelizes *inside* a
+// component: the reverse-search solution graph is explored one solution
+// at a time, and the expansion of a solution H (Steps 1-3 of Algorithms
+// 1 & 2 rooted at H) depends only on H once the path-dependent exclusion
+// strategy is off. That makes every discovered solution an independent
+// task: workers drain a work-stealing scheduler of solutions, expand
+// them with private sequential engines, deduplicate through one shared
+// solution store, and push first-discoveries back as new tasks.
+//
+// The computed set is the reachability closure of the initial solution
+// under the link relation — the same closure the sequential run computes
+// — and a closure is independent of visit order, so a completed parallel
+// run agrees with the sequential solution set exactly (delivery *order*
+// is scheduling-dependent; see SortingSink in api/solution_sink.h).
+// Global budgets stay global: max_results and the wall-clock budget are
+// enforced by the driver's shared delivery/deadline, never per worker.
+#ifndef KBIPLEX_API_TRAVERSAL_SCHEDULER_H_
+#define KBIPLEX_API_TRAVERSAL_SCHEDULER_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "api/enumerate_request.h"
+#include "api/enumerate_stats.h"
+#include "api/solution_sink.h"
+#include "graph/bipartite_graph.h"
+
+namespace kbiplex {
+namespace internal {
+
+/// Runs `request` for a traversal-family algorithm ("itraversal",
+/// "itraversal-es", "itraversal-es-rs", "btraversal", "large-mbp") with
+/// the work-stealing expansion scheduler, or returns nullopt when the
+/// plan does not apply: unknown algorithm, edgeless graph, a max_links
+/// budget (engine-internal counter with no cross-worker accounting), or
+/// backend options (which reconfigure the per-worker engines in ways the
+/// scheduler does not replicate — the caller falls back to component
+/// sharding or the sequential path, both of which honor them).
+///
+/// The exclusion strategy is disabled on the workers even for
+/// "itraversal": exclusion is a path-dependent *pruning* of the solution
+/// graph's links, so dropping it changes visit counts but provably not
+/// the solution set, which is the parallel contract
+/// (api/enumerate_request.h). Pre-conditions: the request passed facade
+/// validation for the algorithm and threads >= 2.
+std::optional<EnumerateStats> TryRunTraversalScheduler(
+    const BipartiteGraph& g, const EnumerateRequest& request,
+    const std::string& algorithm, size_t threads, SolutionSink* sink);
+
+}  // namespace internal
+}  // namespace kbiplex
+
+#endif  // KBIPLEX_API_TRAVERSAL_SCHEDULER_H_

@@ -23,23 +23,11 @@ class TraversalEngine::Impl {
   Impl(const BipartiteGraph& g, const TraversalOptions& opts)
       : g_(g), opts_(opts), extender_(g, opts.k) {
     assert(opts.k.left >= 1 && opts.k.right >= 1);
-    switch (opts_.adjacency_accel) {
-      case AdjacencyAccelMode::kOff:
-        break;
-      case AdjacencyAccelMode::kAuto:
-        accel_ = g.adjacency_index();
-        if (accel_ == nullptr && g.NumEdges() >= kAutoIndexMinEdges) {
-          owned_accel_ = std::make_unique<AdjacencyIndex>(g);
-          accel_ = owned_accel_.get();
-        }
-        break;
-      case AdjacencyAccelMode::kForce:
-        accel_ = g.adjacency_index();
-        if (accel_ == nullptr) {
-          owned_accel_ = std::make_unique<AdjacencyIndex>(g);
-          accel_ = owned_accel_.get();
-        }
-        break;
+    gen_mode_ = ComputeGenMode();
+    if (opts_.shared_adjacency != nullptr) {
+      accel_ = opts_.shared_adjacency;
+    } else {
+      InitAccel();
     }
     if (opts_.scratch != nullptr) {
       // Adopt (or install) the session's pooled frame arena and shared
@@ -54,6 +42,27 @@ class TraversalEngine::Impl {
       }
       frame_pool_ = &slot->pool;
       local_ws_ = &opts_.scratch->workspace;
+    }
+  }
+
+  void InitAccel() {
+    switch (opts_.adjacency_accel) {
+      case AdjacencyAccelMode::kOff:
+        break;
+      case AdjacencyAccelMode::kAuto:
+        accel_ = g_.adjacency_index();
+        if (accel_ == nullptr && g_.NumEdges() >= kAutoIndexMinEdges) {
+          owned_accel_ = std::make_unique<AdjacencyIndex>(g_);
+          accel_ = owned_accel_.get();
+        }
+        break;
+      case AdjacencyAccelMode::kForce:
+        accel_ = g_.adjacency_index();
+        if (accel_ == nullptr) {
+          owned_accel_ = std::make_unique<AdjacencyIndex>(g_);
+          accel_ = owned_accel_.get();
+        }
+        break;
     }
   }
 
@@ -78,7 +87,14 @@ class TraversalEngine::Impl {
     return b;
   }
 
-  /// True iff the incremental 2-hop candidate generator is provably
+  /// Step-1 candidate generation strategy; see ComputeGenMode.
+  enum class GenMode : uint8_t {
+    kScan,        // re-scan the candidate side(s) every frame
+    kAnchored,    // incremental 2-hop lists with the theta - k prefilter
+    kMembership,  // incremental lists, membership filtering only
+  };
+
+  /// True iff the theta-prefiltered 2-hop candidate generator is provably
   /// equivalent to the full-side scan for this configuration: the
   /// Section 5 almost-satisfying-graph prune must already discard every
   /// candidate with fewer than theta_other - k connections into the
@@ -97,6 +113,28 @@ class TraversalEngine::Impl {
     return theta_other > k_side;
   }
 
+  /// Configurations outside the TwoHopApplies gate (bTraversal's two
+  /// scanning side phases above all) still run the incremental generator,
+  /// but with a pure membership filter (min_conn = 0): a frame's
+  /// candidate list is its parent's list minus the members the link
+  /// added, plus the members it removed — trivially the same vertex set
+  /// the scan would visit, in the same order. The per-side connection
+  /// counters are still maintained so ProcessCandidate reads |Γ(v) ∩ B|
+  /// in O(1) instead of intersecting adjacency lists. Extending the
+  /// theta prefilter to these configurations would need the paper's
+  /// completeness argument for zero-connection candidates, which only
+  /// covers the anchored gate.
+  GenMode ComputeGenMode() const {
+    if (opts_.candidate_gen == CandidateGenMode::kScan) return GenMode::kScan;
+    if (TwoHopApplies()) return GenMode::kAnchored;
+    // The exclusion strategy filters candidates against exclusion sets
+    // that grow while a frame is active; the anchored generator handles
+    // that at consumption time, but the membership fold keeps clear of
+    // the interaction and leaves excluding configurations on the scan.
+    if (opts_.exclusion) return GenMode::kScan;
+    return GenMode::kMembership;
+  }
+
   TraversalStats Run(const SolutionCallback& cb) {
     stats_ = TraversalStats();
     cb_ = &cb;
@@ -105,10 +143,9 @@ class TraversalEngine::Impl {
     WallTimer timer;
     Deadline deadline(opts_.time_budget_seconds);
     deadline_ = &deadline;
-    twohop_ = TwoHopApplies();
 
     Biplex h0 = InitialSolution();
-    if (twohop_) InitConnCounts(h0);
+    if (gen_mode_ != GenMode::kScan) InitConnCounts(h0);
     store_->Insert(h0);
     ++stats_.solutions_found;
     std::vector<std::unique_ptr<Frame>> stack;
@@ -157,6 +194,51 @@ class TraversalEngine::Impl {
     return stats_;
   }
 
+  bool ShouldExpand(const Biplex& h) const {
+    // The Section 5 recursion gate of MakeFrame, from `h` alone: under
+    // right-shrinking traversal every solution reachable below h keeps
+    // its non-anchored side inside h's, so a too-small side is final.
+    if (!opts_.prune_small || !opts_.right_shrinking) return true;
+    const Side other = Opposite(opts_.anchored_side);
+    const size_t theta_other = ThetaOpposite(opts_.anchored_side);
+    return theta_other == 0 || h.SideSet(other).size() >= theta_other;
+  }
+
+  bool ExpandSolution(const Biplex& h, const Deadline* deadline,
+                      const LinkCallback& on_link) {
+    assert(!opts_.exclusion);  // path-dependent state cannot transfer
+    stop_ = false;
+    deadline_ = deadline;
+    link_sink_ = &on_link;
+    if (gen_mode_ != GenMode::kScan) InitConnCounts(h);
+    std::unique_ptr<Frame> f = MakeFrame(h, /*depth=*/0, nullptr);
+    if (f->recurse) {
+      size_t iter = 0;
+      while (!stop_ && NextBatch(f.get())) {
+        // handle_local routed every link to the sink; nothing batches.
+        f->batch.clear();
+        f->batch_pos = 0;
+        f->batch_active = false;
+        if ((++iter & 0xfu) == 0 &&
+            ((deadline_ != nullptr && deadline_->Expired()) ||
+             Cancelled(opts_.cancel))) {
+          stop_ = true;
+          stats_.completed = false;
+        }
+      }
+    }
+    frame_pool_->Release(std::move(f));
+    link_sink_ = nullptr;
+    deadline_ = nullptr;
+    return !stop_;
+  }
+
+  TraversalStats TakeExpandStats() {
+    TraversalStats out = stats_;
+    stats_ = TraversalStats();
+    return out;
+  }
+
  private:
   struct Frame {
     Biplex h;
@@ -177,17 +259,17 @@ class TraversalEngine::Impl {
     // excluded vertex, so the whole frame is sterile.
     bool excl_scanned = false;
     size_t excl_members_anchored = 0;
-    // 2-hop candidate generator state: the materialized (sorted)
-    // candidate list, the diffs against the parent frame used to keep the
-    // engine's connection counters incremental, and the parent link the
-    // list is derived from. `parent` outlives this frame (it sits below
-    // it on the DFS stack).
+    // Incremental candidate generator state, per candidate side: the
+    // materialized (sorted) candidate lists, the member diffs against the
+    // parent frame used to keep the engine's connection counters
+    // incremental, and the parent link the lists are derived from.
+    // `parent` outlives this frame (it sits below it on the DFS stack).
     const Frame* parent = nullptr;
-    bool cands_ready = false;
-    size_t cand_pos = 0;
-    std::vector<VertexId> cands;
-    std::vector<VertexId> b_removed;  // parent B \ this B
-    std::vector<VertexId> a_removed;  // parent A \ this A
+    bool cands_ready[2] = {false, false};
+    size_t cand_pos[2] = {0, 0};
+    std::vector<VertexId> cands[2];
+    std::vector<VertexId> added[2];    // this side set \ parent's
+    std::vector<VertexId> removed[2];  // parent's side set \ this one's
 
     /// Restores logical emptiness while keeping buffer capacity; called
     /// by the frame arena on recycled frames.
@@ -207,11 +289,13 @@ class TraversalEngine::Impl {
       excl_scanned = false;
       excl_members_anchored = 0;
       parent = nullptr;
-      cands_ready = false;
-      cand_pos = 0;
-      cands.clear();
-      b_removed.clear();
-      a_removed.clear();
+      for (size_t i = 0; i < 2; ++i) {
+        cands_ready[i] = false;
+        cand_pos[i] = 0;
+        cands[i].clear();
+        added[i].clear();
+        removed[i].clear();
+      }
       // excl[] is reassigned by MakeFrame when the exclusion strategy is
       // on (copy-assignment reuses the word buffers) and never read when
       // it is off, so it needs no reset here.
@@ -242,28 +326,25 @@ class TraversalEngine::Impl {
         f.excl[1].Reset();
       }
     }
-    if (twohop_) {
-      const Side side = opts_.anchored_side;
-      const Side other = Opposite(side);
-      if (parent != nullptr) {
-        // Right-shrinking guarantees B ⊆ parent B, so the diff is a pure
-        // removal set and the connection counters update incrementally.
-        assert(sorted::IsSubset(f.h.SideSet(other),
-                                parent->h.SideSet(other)));
-        f.b_removed.clear();
-        std::set_difference(parent->h.SideSet(other).begin(),
-                            parent->h.SideSet(other).end(),
-                            f.h.SideSet(other).begin(),
-                            f.h.SideSet(other).end(),
-                            std::back_inserter(f.b_removed));
-        f.a_removed.clear();
-        std::set_difference(parent->h.SideSet(side).begin(),
-                            parent->h.SideSet(side).end(),
-                            f.h.SideSet(side).begin(),
-                            f.h.SideSet(side).end(),
-                            std::back_inserter(f.a_removed));
-        ApplyBDiff(f.b_removed, /*removed=*/true);
+    if (gen_mode_ != GenMode::kScan && parent != nullptr) {
+      for (Side s : {Side::kLeft, Side::kRight}) {
+        const size_t i = SideIndex(s);
+        f.removed[i].clear();
+        std::set_difference(parent->h.SideSet(s).begin(),
+                            parent->h.SideSet(s).end(),
+                            f.h.SideSet(s).begin(), f.h.SideSet(s).end(),
+                            std::back_inserter(f.removed[i]));
+        f.added[i].clear();
+        std::set_difference(f.h.SideSet(s).begin(), f.h.SideSet(s).end(),
+                            parent->h.SideSet(s).begin(),
+                            parent->h.SideSet(s).end(),
+                            std::back_inserter(f.added[i]));
       }
+      // Right-shrinking guarantees B ⊆ parent B under the anchored
+      // generator, so that diff is a pure removal set.
+      assert(gen_mode_ != GenMode::kAnchored ||
+             f.added[SideIndex(Opposite(opts_.anchored_side))].empty());
+      ApplyFrameDiff(f, /*entering=*/true);
     }
     if (opts_.prune_small) {
       // Solution pruning: under right-shrinking traversal every solution
@@ -294,77 +375,99 @@ class TraversalEngine::Impl {
   void PopFrame(std::vector<std::unique_ptr<Frame>>* stack) {
     std::unique_ptr<Frame> f = std::move(stack->back());
     stack->pop_back();
-    if (twohop_) ApplyBDiff(f->b_removed, /*removed=*/false);
+    if (gen_mode_ != GenMode::kScan && f->parent != nullptr) {
+      ApplyFrameDiff(*f, /*entering=*/false);
+    }
     frame_pool_->Release(std::move(f));
   }
 
-  /// Initializes conn_[w] = |Γ(w) ∩ B0| for every anchored-side vertex w.
-  void InitConnCounts(const Biplex& h0) {
-    const Side side = opts_.anchored_side;
-    conn_.assign(g_.NumOnSide(side), 0);
-    for (VertexId u : h0.SideSet(Opposite(side))) {
-      for (VertexId w : g_.Neighbors(Opposite(side), u)) ++conn_[w];
+  /// Initializes conn_[s][w] = |Γ(w) ∩ H(opposite(s))| for every vertex w
+  /// of every candidate side s: one counter array under left-anchored
+  /// traversal, a second one for bTraversal's other candidate phase.
+  void InitConnCounts(const Biplex& h) {
+    conn_[0].clear();
+    conn_[1].clear();
+    for (int p = 0; p < NumSidePhases(); ++p) {
+      const Side side = CandidateSide(p);
+      std::vector<uint32_t>& conn = conn_[SideIndex(side)];
+      conn.assign(g_.NumOnSide(side), 0);
+      for (VertexId u : h.SideSet(Opposite(side))) {
+        for (VertexId w : g_.Neighbors(Opposite(side), u)) ++conn[w];
+      }
     }
   }
 
-  /// Applies (or undoes) the removal of non-anchored members `us` to the
-  /// incremental connection counters.
-  void ApplyBDiff(const std::vector<VertexId>& us, bool removed) {
-    const Side other = Opposite(opts_.anchored_side);
-    if (removed) {
-      for (VertexId u : us) {
-        for (VertexId w : g_.Neighbors(other, u)) --conn_[w];
+  /// Applies (entering = true) or undoes (false) the frame's member diffs
+  /// to the connection counters: a member change on side o adjusts the
+  /// counters of the vertices on the opposite side adjacent to it.
+  void ApplyFrameDiff(const Frame& f, bool entering) {
+    for (Side o : {Side::kLeft, Side::kRight}) {
+      std::vector<uint32_t>& conn = conn_[SideIndex(Opposite(o))];
+      if (conn.empty()) continue;
+      for (VertexId u : f.added[SideIndex(o)]) {
+        for (VertexId w : g_.Neighbors(o, u)) {
+          entering ? ++conn[w] : --conn[w];
+        }
       }
-    } else {
-      for (VertexId u : us) {
-        for (VertexId w : g_.Neighbors(other, u)) ++conn_[w];
+      for (VertexId u : f.removed[SideIndex(o)]) {
+        for (VertexId w : g_.Neighbors(o, u)) {
+          entering ? --conn[w] : ++conn[w];
+        }
       }
     }
   }
 
   /// Minimum |Γ(v) ∩ B| a candidate needs to survive the Section 5
-  /// almost-satisfying-graph prune; >= 1 whenever twohop_ holds.
-  size_t MinConn() const {
-    const Side side = opts_.anchored_side;
+  /// almost-satisfying-graph prune; >= 1 under the anchored generator, 0
+  /// (pure membership filtering) under the fold.
+  size_t MinConn(Side side) const {
+    if (gen_mode_ != GenMode::kAnchored) return 0;
     return ThetaOpposite(side) -
            static_cast<size_t>(opts_.k.ForSide(side));
   }
 
-  /// Materializes the frame's candidate list: anchored-side vertices with
-  /// enough connections into the frame's non-anchored member set. The
-  /// root derives it from the connection counters directly; descendants
-  /// refine the parent's list (connections only shrink along links) plus
-  /// the members the link removed, which may have become candidates.
-  void GenerateCandidates(Frame* f) {
-    f->cands_ready = true;
-    const size_t min_conn = MinConn();
-    const std::vector<VertexId>& members =
-        f->h.SideSet(opts_.anchored_side);
-    f->cands.clear();
-    if (f->parent == nullptr) {
-      const size_t n = g_.NumOnSide(opts_.anchored_side);
+  /// Materializes the frame's candidate list for `side`: non-member
+  /// vertices with enough connections into the frame's opposite member
+  /// set (min_conn = 0 under the membership fold, where only membership
+  /// filters). The root derives it from the graph directly; descendants
+  /// refine the parent's list — drop the members the link added, append
+  /// the members it removed — and re-check the connection floor where one
+  /// applies.
+  void GenerateCandidates(Frame* f, Side side) {
+    const size_t i = SideIndex(side);
+    f->cands_ready[i] = true;
+    const size_t min_conn = MinConn(side);
+    const std::vector<uint32_t>& conn = conn_[i];
+    std::vector<VertexId>& cands = f->cands[i];
+    cands.clear();
+    if (f->parent == nullptr || !f->parent->cands_ready[i]) {
+      const std::vector<VertexId>& members = f->h.SideSet(side);
+      const VertexId n = static_cast<VertexId>(g_.NumOnSide(side));
       for (VertexId v = 0; v < n; ++v) {
-        if (conn_[v] >= min_conn && !sorted::Contains(members, v)) {
-          f->cands.push_back(v);
+        if ((min_conn == 0 || conn[v] >= min_conn) &&
+            !sorted::Contains(members, v)) {
+          cands.push_back(v);
         }
       }
     } else {
-      for (VertexId v : f->parent->cands) {
-        if (conn_[v] >= min_conn && !sorted::Contains(members, v)) {
-          f->cands.push_back(v);
+      // A parent candidate is a member here iff the link added it.
+      for (VertexId v : f->parent->cands[i]) {
+        if ((min_conn == 0 || conn[v] >= min_conn) &&
+            !sorted::Contains(f->added[i], v)) {
+          cands.push_back(v);
         }
       }
       // Removed members are disjoint from the parent's candidate list, so
       // an in-place merge keeps the result sorted.
-      const size_t mid = f->cands.size();
-      for (VertexId v : f->a_removed) {
-        if (conn_[v] >= min_conn) f->cands.push_back(v);
+      const size_t mid = cands.size();
+      for (VertexId v : f->removed[i]) {
+        if (min_conn == 0 || conn[v] >= min_conn) cands.push_back(v);
       }
-      std::inplace_merge(f->cands.begin(),
-                         f->cands.begin() + static_cast<ptrdiff_t>(mid),
-                         f->cands.end());
+      std::inplace_merge(cands.begin(),
+                         cands.begin() + static_cast<ptrdiff_t>(mid),
+                         cands.end());
     }
-    stats_.candidates_generated += f->cands.size();
+    stats_.candidates_generated += cands.size();
   }
 
   /// The sequence of candidate sides for Step 1: the anchored side only
@@ -394,7 +497,7 @@ class TraversalEngine::Impl {
             static_cast<size_t>(opts_.k.ForSide(opts_.anchored_side))) {
       return false;
     }
-    if (twohop_) return NextBatchTwoHop(f);
+    if (gen_mode_ != GenMode::kScan) return NextBatchIncremental(f);
     while (f->side_phase < NumSidePhases()) {
       const Side side = CandidateSide(f->side_phase);
       const size_t n = g_.NumOnSide(side);
@@ -436,37 +539,45 @@ class TraversalEngine::Impl {
     return false;
   }
 
-  /// NextBatch through the materialized 2-hop candidate list (single
-  /// phase: twohop_ implies left-anchored traversal). Exclusion filters
+  /// NextBatch through the materialized incremental candidate lists (one
+  /// phase under left-anchored traversal, both sides for bTraversal).
+  /// Every phase list is generated up front, before the frame produces
+  /// any child, so descendants can always refine them. Exclusion filters
   /// run at consumption time, exactly when the scan would reach the
   /// vertex, because the exclusion sets grow while the frame is active.
-  bool NextBatchTwoHop(Frame* f) {
-    if (f->side_phase > 0) return false;
-    const Side side = opts_.anchored_side;
-    if (!f->cands_ready) GenerateCandidates(f);
-    const std::vector<VertexId>& other_members =
-        f->h.SideSet(Opposite(side));
-    const DynamicBitset& excl_other = f->excl[SideIndex(Opposite(side))];
-    while (f->cand_pos < f->cands.size()) {
-      const VertexId v = f->cands[f->cand_pos++];
-      if (opts_.exclusion) {
-        if (f->excl[SideIndex(side)].Test(v)) {
-          ++stats_.candidates_pruned;
-          continue;
-        }
-        if (excl_other.size() != 0 &&
-            HasExcludedNeighbor(side, v, other_members, excl_other)) {
-          ++stats_.candidates_pruned;
-          continue;
-        }
-      }
-      ProcessCandidate(f, side, v, /*prefiltered=*/true);
-      f->batch_active = true;
-      f->batch_side = side;
-      f->batch_v = v;
-      return true;
+  bool NextBatchIncremental(Frame* f) {
+    for (int p = 0; p < NumSidePhases(); ++p) {
+      const Side s = CandidateSide(p);
+      if (!f->cands_ready[SideIndex(s)]) GenerateCandidates(f, s);
     }
-    ++f->side_phase;
+    while (f->side_phase < NumSidePhases()) {
+      const Side side = CandidateSide(f->side_phase);
+      const size_t i = SideIndex(side);
+      const std::vector<VertexId>& other_members =
+          f->h.SideSet(Opposite(side));
+      const DynamicBitset& excl_other = f->excl[SideIndex(Opposite(side))];
+      while (f->cand_pos[i] < f->cands[i].size()) {
+        const VertexId v = f->cands[i][f->cand_pos[i]++];
+        if (opts_.exclusion) {
+          if (f->excl[i].Test(v)) {
+            ++stats_.candidates_pruned;
+            continue;
+          }
+          if (excl_other.size() != 0 &&
+              HasExcludedNeighbor(side, v, other_members, excl_other)) {
+            ++stats_.candidates_pruned;
+            continue;
+          }
+        }
+        ProcessCandidate(f, side, v,
+                         /*prefiltered=*/gen_mode_ == GenMode::kAnchored);
+        f->batch_active = true;
+        f->batch_side = side;
+        f->batch_v = v;
+        return true;
+      }
+      ++f->side_phase;
+    }
     return false;
   }
 
@@ -497,9 +608,14 @@ class TraversalEngine::Impl {
     if (!prefiltered && opts_.prune_small && opts_.right_shrinking &&
         theta_other > 0) {
       // Almost-satisfying-graph pruning: any solution via v keeps at most
-      // δ(v, other) + k vertices of the other side (Section 5).
-      const size_t conn = AcceleratedConnCount(
-          accel_, g_, side, v, f->h.SideSet(Opposite(side)));
+      // δ(v, other) + k vertices of the other side (Section 5). The
+      // incremental generator's counters hold exactly |Γ(v) ∩ B|, so when
+      // they cover this side the adjacency intersection is free.
+      const std::vector<uint32_t>& cc = conn_[SideIndex(side)];
+      const size_t conn =
+          !cc.empty() ? cc[v]
+                      : AcceleratedConnCount(accel_, g_, side, v,
+                                             f->h.SideSet(Opposite(side)));
       // v itself tolerates at most k(side) disconnections, bounding the
       // other side of any solution through this almost-satisfying graph.
       if (conn + static_cast<size_t>(opts_.k.ForSide(side)) < theta_other) {
@@ -549,6 +665,16 @@ class TraversalEngine::Impl {
         stop_ = true;
         stats_.completed = false;
         return false;
+      }
+      if (link_sink_ != nullptr) {
+        // Parallel expansion: the caller owns dedup and scheduling; hand
+        // the link over instead of recursing locally.
+        if (!(*link_sink_)(std::move(sol))) {
+          stop_ = true;
+          stats_.completed = false;
+          return false;
+        }
+        return true;
       }
       if (store_->Insert(sol)) {
         ++stats_.solutions_found;
@@ -632,8 +758,10 @@ class TraversalEngine::Impl {
   EnumAlmostSatWorkspace own_ws_;
   ArenaPool<Frame>* frame_pool_ = &own_frame_pool_;
   EnumAlmostSatWorkspace* local_ws_ = &own_ws_;
-  bool twohop_ = false;
-  std::vector<uint32_t> conn_;
+  GenMode gen_mode_ = GenMode::kScan;
+  std::vector<uint32_t> conn_[2];  // per-side |Γ(w) ∩ H(other)| counters
+  // Parallel-expansion link sink; non-null only inside ExpandSolution.
+  const LinkCallback* link_sink_ = nullptr;
 
   friend class TraversalEngine;
 };
@@ -650,6 +778,19 @@ TraversalStats TraversalEngine::Run(const SolutionCallback& cb) {
 
 Biplex TraversalEngine::InitialSolution() const {
   return impl_->InitialSolution();
+}
+
+bool TraversalEngine::ShouldExpand(const Biplex& h) const {
+  return impl_->ShouldExpand(h);
+}
+
+bool TraversalEngine::ExpandSolution(const Biplex& h, const Deadline* deadline,
+                                     const LinkCallback& on_link) {
+  return impl_->ExpandSolution(h, deadline, on_link);
+}
+
+TraversalStats TraversalEngine::TakeExpandStats() {
+  return impl_->TakeExpandStats();
 }
 
 }  // namespace kbiplex

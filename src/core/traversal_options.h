@@ -130,6 +130,12 @@ struct TraversalOptions {
   /// preserving in every mode.
   AdjacencyAccelMode adjacency_accel = AdjacencyAccelMode::kAuto;
 
+  /// Caller-provided adjacency index; when set it overrides the
+  /// adjacency_accel selection entirely. Not owned and read-only; the
+  /// parallel scheduler builds one index and shares it across all worker
+  /// engines instead of letting each build its own.
+  const AdjacencyIndex* shared_adjacency = nullptr;
+
   /// Optional cross-run scratch (recursion-frame arena + EnumAlmostSat
   /// workspace) reused by consecutive engines of one session; when null
   /// the engine owns per-run scratch. Not owned; never shared between

@@ -487,7 +487,16 @@ void Server::ExecuteQuery(WorkerContext& ctx,
   }
 
   WireSink sink(conn.get(), cmd.id, cmd.count_only);
-  const EnumerateStats stats = session.Run(request, &sink);
+  // "sort":true buffers the run and streams the solution lines in
+  // canonical order before the terminal line, making a parallel query's
+  // stream byte-identical across thread counts (solution sets are
+  // order-deterministic, delivery order is not; docs/wire_protocol.md).
+  SortingSink sorter(&sink);
+  const bool sorting = cmd.sort && !cmd.count_only;
+  const EnumerateStats stats =
+      session.Run(request, sorting ? static_cast<SolutionSink*>(&sorter)
+                                   : &sink);
+  if (sorting) sorter.Flush();
   aggregator_.Record(
       cmd.graph,
       stats.algorithm.empty() ? request.algorithm : stats.algorithm, stats);

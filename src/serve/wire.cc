@@ -106,6 +106,11 @@ std::string ParseCommand(const std::string& line, WireCommand* cmd) {
         }
         return "'emit' must be \"solutions\" or \"count\"";
       }
+      if (key == "sort") {
+        if (!value.is_bool()) return "'sort' must be a boolean";
+        cmd->sort = value.AsBool();
+        continue;
+      }
     } else if (cmd->op == "load") {
       if (key == "name") {
         if (!value.is_string()) return "'name' must be a string";

@@ -5,7 +5,7 @@
 //
 // Command lines:
 //   {"op":"query","id":ID,"graph":NAME,"request":{...},
-//    "deadline_ms":N,"emit":"solutions"|"count"}
+//    "deadline_ms":N,"emit":"solutions"|"count","sort":BOOL}
 //   {"op":"load","id":ID,"name":NAME,"path":PATH,
 //    "options":{"accel":BOOL,"renumber":BOOL}}
 //   {"op":"evict","id":ID,"name":NAME}
@@ -50,6 +50,9 @@ struct WireCommand {
   EnumerateRequest request;  // query: the parsed request
   uint64_t deadline_ms = 0;  // query: 0 = no deadline
   bool count_only = false;   // query: "emit":"count" suppresses solutions
+  bool sort = false;  // query: stream solutions in canonical order (the
+                      // buffered-then-sorted emission that makes parallel
+                      // runs' solution streams order-deterministic)
 };
 
 /// Parses one command line. Returns the error message (empty on

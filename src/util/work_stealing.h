@@ -1,0 +1,189 @@
+// Work-stealing task scheduler for intra-component parallel traversal.
+//
+// Each worker owns a deque of tasks: the owner pushes and pops at the
+// back (LIFO, preserving DFS locality), idle workers steal from the
+// front of a victim's deque (the shallowest, typically largest subtree).
+// Tasks may push further tasks while executing — the scheduler counts
+// every pushed-but-not-finished task in an atomic, and a run terminates
+// exactly when that count reaches zero: a task's count is released only
+// *after* its body returned, so a nonzero count means some running task
+// may still produce work, and a zero count means no task exists and none
+// can appear.
+//
+// Locking discipline (docs/concurrency.md): every per-worker deque has
+// its own leaf Mutex, and the idle protocol uses one further leaf Mutex
+// (`idle_mu_`) with a wake-epoch counter. No code path holds two
+// scheduler locks at once. The epoch closes the classic lost-wakeup
+// race: a worker snapshots the epoch, scans every deque, and sleeps only
+// if the epoch is unchanged — any push bumps the epoch *after* making
+// the task visible, so a sleeper either saw the task or sees the bump.
+#ifndef KBIPLEX_UTIL_WORK_STEALING_H_
+#define KBIPLEX_UTIL_WORK_STEALING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
+
+namespace kbiplex {
+
+/// Bounded crew of workers draining per-worker stealable deques. `Task`
+/// must be movable and default-constructible. Single-use: seed tasks with
+/// Push, then Run once.
+template <typename Task>
+class WorkStealingScheduler {
+ public:
+  explicit WorkStealingScheduler(size_t num_workers)
+      : num_workers_(num_workers == 0 ? 1 : num_workers),
+        deques_(new Deque[num_workers == 0 ? 1 : num_workers]) {}
+
+  WorkStealingScheduler(const WorkStealingScheduler&) = delete;
+  WorkStealingScheduler& operator=(const WorkStealingScheduler&) = delete;
+
+  size_t num_workers() const { return num_workers_; }
+
+  /// Enqueues a task on `worker`'s deque (callers outside a task body may
+  /// pass any index; seeds conventionally go to worker 0). Safe from
+  /// concurrent task bodies: a task pushed from a running body lands on
+  /// the executing worker's own deque and is counted before the parent
+  /// task finishes, so the outstanding count can never dip to zero while
+  /// descendants are pending.
+  void Push(size_t worker, Task task) {
+    outstanding_.fetch_add(1, std::memory_order_acq_rel);
+    {
+      Deque& d = deques_[worker % num_workers_];
+      MutexLock lock(&d.mu);
+      d.items.push_back(std::move(task));
+    }
+    BumpEpochAndWake();
+  }
+
+  /// Requests an early stop: queued tasks are abandoned (never executed)
+  /// and workers return as soon as their current body finishes.
+  void Stop() {
+    stop_.store(true, std::memory_order_release);
+    BumpEpochAndWake();
+  }
+
+  bool stopped() const { return stop_.load(std::memory_order_acquire); }
+
+  /// Runs `body(worker_index, task)` over every task until the queues
+  /// drain (or Stop). Spawns num_workers - 1 threads and participates as
+  /// worker 0; returns after every spawned worker joined, so no body is
+  /// running once Run returns.
+  void Run(const std::function<void(size_t, Task&&)>& body) {
+    std::vector<std::thread> threads;
+    threads.reserve(num_workers_ - 1);
+    for (size_t w = 1; w < num_workers_; ++w) {
+      threads.emplace_back([this, &body, w] { WorkerLoop(w, body); });
+    }
+    WorkerLoop(0, body);
+    for (std::thread& t : threads) t.join();
+  }
+
+  /// Tasks whose body ran to completion.
+  uint64_t executed() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+  /// Tasks acquired from another worker's deque.
+  uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Deque {
+    Mutex mu;
+    std::deque<Task> items KBIPLEX_GUARDED_BY(mu);
+  };
+
+  void BumpEpochAndWake() {
+    {
+      MutexLock lock(&idle_mu_);
+      ++wake_epoch_;
+    }
+    idle_cv_.NotifyAll();
+  }
+
+  /// Own deque back first (depth-first continuation), then steal from the
+  /// front of the other deques in ring order starting at w + 1.
+  bool TryAcquire(size_t w, Task* out) {
+    {
+      Deque& d = deques_[w];
+      MutexLock lock(&d.mu);
+      if (!d.items.empty()) {
+        *out = std::move(d.items.back());
+        d.items.pop_back();
+        return true;
+      }
+    }
+    for (size_t i = 1; i < num_workers_; ++i) {
+      Deque& d = deques_[(w + i) % num_workers_];
+      MutexLock lock(&d.mu);
+      if (!d.items.empty()) {
+        *out = std::move(d.items.front());
+        d.items.pop_front();
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void WorkerLoop(size_t w, const std::function<void(size_t, Task&&)>& body) {
+    while (true) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      uint64_t epoch;
+      {
+        MutexLock lock(&idle_mu_);
+        epoch = wake_epoch_;
+      }
+      Task task;
+      if (TryAcquire(w, &task)) {
+        body(w, std::move(task));
+        executed_.fetch_add(1, std::memory_order_relaxed);
+        // Release the task only now: a body that pushed children already
+        // raised the count, so it cannot reach zero while work is hidden
+        // inside a running body.
+        if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          BumpEpochAndWake();
+        }
+        continue;
+      }
+      if (outstanding_.load(std::memory_order_acquire) == 0) {
+        // Termination: no queued or running task anywhere. Wake the other
+        // idlers so they observe the same state and return.
+        BumpEpochAndWake();
+        return;
+      }
+      MutexLock lock(&idle_mu_);
+      // Sleep only if nothing changed since the (failed) scan above; any
+      // push or final release bumps the epoch after publishing, so an
+      // unchanged epoch proves the scan did not race a new task.
+      if (wake_epoch_ == epoch && !stop_.load(std::memory_order_relaxed)) {
+        idle_cv_.Wait(&idle_mu_);
+      }
+    }
+  }
+
+  const size_t num_workers_;
+  // Fixed-size array created at construction; element state is guarded by
+  // each Deque's own mu.
+  const std::unique_ptr<Deque[]> deques_;
+  std::atomic<uint64_t> outstanding_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> executed_{0};
+  std::atomic<uint64_t> steals_{0};
+  Mutex idle_mu_;
+  uint64_t wake_epoch_ KBIPLEX_GUARDED_BY(idle_mu_) = 0;
+  CondVar idle_cv_;
+};
+
+}  // namespace kbiplex
+
+#endif  // KBIPLEX_UTIL_WORK_STEALING_H_

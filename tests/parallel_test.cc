@@ -16,6 +16,7 @@
 #include "graph/components.h"
 #include "graph/generators.h"
 #include "test_support.h"
+#include "util/json_value.h"
 #include "util/thread_pool.h"
 
 namespace kbiplex {
@@ -318,6 +319,80 @@ TEST(ParallelBudgets, NegativeThreadsRejected) {
   EnumerateStats stats = Enumerate(g, req, &sink);
   EXPECT_FALSE(stats.ok());
   EXPECT_NE(stats.error.find("threads"), std::string::npos);
+}
+
+// ----------------------------------------------- parallel imb bugfixes --
+
+// Regression: the facade used to exclude the vertex-free graph from the
+// parallel imb plan, and an embedder calling RunParallelImb directly got
+// a SplitRange(0, n) shard whose handling was unpinned. The parallel run
+// must reproduce the sequential result exactly: the empty biplex is the
+// one maximal solution of the empty graph, and the stats carry the same
+// imb detail block.
+TEST(ParallelImb, EmptyGraphIsATrivialNoOp) {
+  BipartiteGraph g = MakeGraph(0, 0, {});
+  Enumerator enumerator(g);
+  EnumerateRequest req;
+  req.algorithm = "imb";
+  req.threads = 1;
+  EnumerateStats seq;
+  const std::vector<Biplex> expect = enumerator.Collect(req, &seq);
+  ASSERT_TRUE(seq.ok()) << seq.error;
+  ASSERT_EQ(expect, std::vector<Biplex>{Biplex{}});  // the empty biplex
+
+  req.threads = 4;
+  EnumerateStats par;
+  const std::vector<Biplex> got = enumerator.Collect(req, &par);
+  ASSERT_TRUE(par.ok()) << par.error;
+  EXPECT_EQ(got, expect);
+  EXPECT_TRUE(par.completed);
+  EXPECT_TRUE(par.imb.has_value());
+  EXPECT_EQ(par.solutions, 1u);
+}
+
+/// Top-level key set of a one-line JSON object, enough to compare the
+/// stats schema of two runs without comparing values.
+std::set<std::string> JsonKeys(const std::string& text) {
+  json::ParseResult parsed = json::Parse(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.error << "\nin: " << text;
+  std::set<std::string> keys;
+  if (parsed.ok() && parsed.value.is_object()) {
+    for (const auto& [key, value] : parsed.value.AsObject()) {
+      keys.insert(key);
+    }
+  }
+  return keys;
+}
+
+// Regression: shards skipped because the time budget expired before they
+// started never engaged `stats.imb`, so a budget-expired parallel run's
+// JSON dropped the "imb" detail block that every other imb run carries —
+// a schema divergence that breaks key-based consumers.
+TEST(ParallelImb, BudgetExpiredRunKeepsStatsSchema) {
+  BipartiteGraph g = MakeRandomGraph({6, 6, 0.5, 77});
+  Enumerator enumerator(g);
+  EnumerateRequest req;
+  req.algorithm = "imb";
+  req.time_budget_seconds = 1e-12;  // expired before any shard starts
+
+  req.threads = 1;
+  EnumerateStats seq;
+  enumerator.Collect(req, &seq);
+  ASSERT_TRUE(seq.ok()) << seq.error;
+  // (The sequential run may still complete — a graph this small can
+  // finish before the first deadline poll; the schema is what matters.)
+
+  req.threads = 4;
+  EnumerateStats par;
+  enumerator.Collect(req, &par);
+  ASSERT_TRUE(par.ok()) << par.error;
+  EXPECT_FALSE(par.completed);
+  ASSERT_TRUE(par.imb.has_value());
+  EXPECT_FALSE(par.imb->completed);
+
+  // Golden property: identical JSON schema regardless of thread count.
+  EXPECT_EQ(JsonKeys(par.ToJson()), JsonKeys(seq.ToJson()))
+      << "seq: " << seq.ToJson() << "\npar: " << par.ToJson();
 }
 
 }  // namespace

@@ -1,0 +1,362 @@
+// Tests of the work-stealing traversal scheduler: the generic scheduler
+// primitive (termination, task spawning, stealing, early stop), the
+// intra-component parallel plan's agreement with the sequential solution
+// set for every traversal-family backend at 1/2/4/8 threads, global
+// budget/result-cap truncation, and the canonical-order SortingSink that
+// makes parallel output streams deterministic.
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/enumerator.h"
+#include "api/solution_sink.h"
+#include "api/traversal_scheduler.h"
+#include "graph/generators.h"
+#include "test_support.h"
+#include "util/work_stealing.h"
+
+namespace kbiplex {
+namespace {
+
+using testing_support::MakeGraph;
+using testing_support::MakeRandomGraph;
+using testing_support::ToString;
+
+// ------------------------------------------------- scheduler primitive ---
+
+TEST(WorkStealingScheduler, ExecutesEverySeededTask) {
+  WorkStealingScheduler<int> sched(4);
+  EXPECT_EQ(sched.num_workers(), 4u);
+  std::atomic<int> sum{0};
+  for (int i = 0; i < 100; ++i) sched.Push(i % 4, i);
+  sched.Run([&](size_t, int&& task) { sum.fetch_add(task); });
+  EXPECT_EQ(sum.load(), 99 * 100 / 2);
+  EXPECT_EQ(sched.executed(), 100u);
+  EXPECT_FALSE(sched.stopped());
+}
+
+TEST(WorkStealingScheduler, TasksSpawnTasksUntilTreeExhausted) {
+  // One seed fans out into a complete ternary tree of depth 4; the
+  // scheduler must terminate only after every spawned descendant ran:
+  // 1 + 3 + 9 + 27 + 81 = 121 tasks.
+  WorkStealingScheduler<int> sched(4);
+  std::atomic<int> executed{0};
+  sched.Push(0, 0);
+  sched.Run([&](size_t w, int&& depth) {
+    executed.fetch_add(1);
+    if (depth < 4) {
+      for (int i = 0; i < 3; ++i) sched.Push(w, depth + 1);
+    }
+  });
+  EXPECT_EQ(executed.load(), 121);
+  EXPECT_EQ(sched.executed(), 121u);
+}
+
+TEST(WorkStealingScheduler, SeedsOnOneDequeReachEveryWorker) {
+  // All seeds land on worker 0's deque; the other workers only get work
+  // by stealing. Every task must still execute exactly once.
+  WorkStealingScheduler<int> sched(4);
+  std::atomic<int> executed{0};
+  for (int i = 0; i < 64; ++i) sched.Push(0, i);
+  sched.Run([&](size_t, int&&) { executed.fetch_add(1); });
+  EXPECT_EQ(executed.load(), 64);
+}
+
+TEST(WorkStealingScheduler, StopAbandonsQueuedTasks) {
+  WorkStealingScheduler<int> sched(2);
+  std::atomic<int> executed{0};
+  for (int i = 0; i < 1000; ++i) sched.Push(i % 2, i);
+  sched.Run([&](size_t, int&&) {
+    if (executed.fetch_add(1) + 1 >= 10) sched.Stop();
+  });
+  EXPECT_TRUE(sched.stopped());
+  EXPECT_GE(executed.load(), 10);
+  // Queued tasks were abandoned, not run: only the bodies in flight when
+  // Stop was called could still finish.
+  EXPECT_LT(executed.load(), 1000);
+}
+
+TEST(WorkStealingScheduler, SingleWorkerRunsInline) {
+  WorkStealingScheduler<int> sched(1);
+  std::atomic<int> executed{0};
+  sched.Push(0, 0);
+  sched.Run([&](size_t w, int&& depth) {
+    EXPECT_EQ(w, 0u);
+    executed.fetch_add(1);
+    if (depth < 3) sched.Push(w, depth + 1);
+  });
+  EXPECT_EQ(executed.load(), 4);
+  EXPECT_EQ(sched.steals(), 0u);
+}
+
+TEST(WorkStealingScheduler, ZeroWorkersClampsToOne) {
+  WorkStealingScheduler<int> sched(0);
+  EXPECT_EQ(sched.num_workers(), 1u);
+  std::atomic<int> executed{0};
+  sched.Push(7, 1);  // worker index is taken modulo num_workers
+  sched.Run([&](size_t, int&&) { executed.fetch_add(1); });
+  EXPECT_EQ(executed.load(), 1);
+}
+
+// ------------------------------------- scheduler plan: set agreement ----
+
+/// A dense graph that is one connected component with high probability —
+/// the case component sharding cannot parallelize at all.
+BipartiteGraph DenseComponent() { return MakeRandomGraph({7, 7, 0.7, 91}); }
+
+struct SchedulerCase {
+  KPair k;
+  size_t theta_left;
+  size_t theta_right;
+};
+
+std::vector<Biplex> RunSchedulerPlan(const BipartiteGraph& g,
+                                     const EnumerateRequest& req,
+                                     const std::string& algorithm,
+                                     size_t threads, EnumerateStats* stats) {
+  CollectingSink sink;
+  std::optional<EnumerateStats> s =
+      internal::TryRunTraversalScheduler(g, req, algorithm, threads, &sink);
+  EXPECT_TRUE(s.has_value()) << algorithm;
+  if (stats != nullptr && s.has_value()) *stats = *s;
+  return sink.Take();  // sorted canonically
+}
+
+TEST(TraversalSchedulerPlan, MatchesSequentialSetOnDenseComponent) {
+  const BipartiteGraph g = DenseComponent();
+  Enumerator enumerator(g);
+  const std::vector<SchedulerCase> cases = {
+      {KPair::Uniform(1), 0, 0},  // component sharding provably unsafe
+      {KPair::Uniform(1), 3, 3},  // safe but useless: one component
+      {KPair::Uniform(2), 2, 2},
+  };
+  for (const SchedulerCase& c : cases) {
+    for (const char* name : {"itraversal", "itraversal-es",
+                             "itraversal-es-rs", "btraversal", "large-mbp"}) {
+      const bool large = name == std::string("large-mbp");
+      if (large && (c.theta_left == 0 || c.theta_right == 0)) continue;
+      EnumerateRequest req;
+      req.algorithm = name;
+      req.k = c.k;
+      req.theta_left = c.theta_left;
+      req.theta_right = c.theta_right;
+      req.threads = 1;
+      EnumerateStats seq_stats;
+      const std::vector<Biplex> expect = enumerator.Collect(req, &seq_stats);
+      ASSERT_TRUE(seq_stats.ok()) << name << ": " << seq_stats.error;
+      for (size_t threads : {2u, 4u, 8u}) {
+        EnumerateStats stats;
+        const std::vector<Biplex> got =
+            RunSchedulerPlan(g, req, name, threads, &stats);
+        ASSERT_TRUE(stats.ok()) << name << ": " << stats.error;
+        EXPECT_TRUE(stats.completed) << name << " threads=" << threads;
+        EXPECT_EQ(stats.solutions, seq_stats.solutions) << name;
+        ASSERT_EQ(got, expect)
+            << name << " threads=" << threads << " k=(" << c.k.left << ","
+            << c.k.right << ") theta=(" << c.theta_left << ","
+            << c.theta_right << ")\ngot:\n"
+            << ToString(got) << "want:\n"
+            << ToString(expect);
+        // The detail block matches the backend family, and the unique
+        // solution count agrees with the delivered count when no
+        // threshold filters (thetas filter delivery, not discovery).
+        if (large) {
+          ASSERT_TRUE(stats.large_mbp.has_value()) << name;
+        } else {
+          ASSERT_TRUE(stats.traversal.has_value()) << name;
+          if (c.theta_left == 0 && c.theta_right == 0) {
+            EXPECT_EQ(stats.traversal->solutions_found, stats.solutions)
+                << name;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(TraversalSchedulerPlan, HandlesDisconnectedGraphsToo) {
+  // The expansion closure spans components exactly like the sequential
+  // traversal does, so the scheduler needs no sharding-safety gate.
+  std::vector<BipartiteGraph::Edge> edges;
+  const BipartiteGraph a = MakeRandomGraph({4, 4, 0.7, 92});
+  const BipartiteGraph b = MakeRandomGraph({4, 4, 0.6, 93});
+  for (const auto& [l, r] : a.Edges()) edges.emplace_back(l, r);
+  for (const auto& [l, r] : b.Edges()) {
+    edges.emplace_back(l + 4, r + 4);
+  }
+  const BipartiteGraph g = BipartiteGraph::FromEdges(8, 8, std::move(edges));
+  Enumerator enumerator(g);
+  EnumerateRequest req;
+  req.algorithm = "btraversal";
+  req.threads = 1;
+  const std::vector<Biplex> expect = enumerator.Collect(req);
+  const std::vector<Biplex> got =
+      RunSchedulerPlan(g, req, "btraversal", 4, nullptr);
+  EXPECT_EQ(got, expect);
+}
+
+TEST(TraversalSchedulerPlan, DeclinesWhatItCannotReplicate) {
+  const BipartiteGraph g = DenseComponent();
+  CollectingSink sink;
+  EnumerateRequest req;
+  req.algorithm = "itraversal";
+
+  EnumerateRequest with_options = req;
+  with_options.backend_options["anchored_side"] = "right";
+  EXPECT_FALSE(internal::TryRunTraversalScheduler(g, with_options,
+                                                  "itraversal", 4, &sink)
+                   .has_value());
+
+  EnumerateRequest with_links = req;
+  with_links.max_links = 100;
+  EXPECT_FALSE(
+      internal::TryRunTraversalScheduler(g, with_links, "itraversal", 4, &sink)
+          .has_value());
+
+  EXPECT_FALSE(
+      internal::TryRunTraversalScheduler(g, req, "imb", 4, &sink).has_value());
+
+  const BipartiteGraph empty = MakeGraph(3, 3, {});
+  EXPECT_FALSE(internal::TryRunTraversalScheduler(empty, req, "itraversal", 4,
+                                                  &sink)
+                   .has_value());
+}
+
+// --------------------------------------------- global budgets and caps ---
+
+TEST(TraversalSchedulerPlan, MaxResultsIsGlobalAcrossWorkers) {
+  const BipartiteGraph g = DenseComponent();
+  Enumerator enumerator(g);
+  EnumerateRequest req;
+  req.algorithm = "itraversal";
+  req.threads = 1;
+  EnumerateStats full;
+  const std::vector<Biplex> all = enumerator.Collect(req, &full);
+  ASSERT_GT(all.size(), 4u);
+
+  req.max_results = 4;
+  EnumerateStats stats;
+  const std::vector<Biplex> got =
+      RunSchedulerPlan(g, req, "itraversal", 4, &stats);
+  EXPECT_EQ(got.size(), 4u);
+  EXPECT_EQ(stats.solutions, 4u);
+  EXPECT_FALSE(stats.completed);
+  // Every truncated delivery is a member of the full set.
+  for (const Biplex& b : got) {
+    EXPECT_TRUE(std::binary_search(all.begin(), all.end(), b))
+        << ToString(b);
+  }
+}
+
+TEST(TraversalSchedulerPlan, ExpiredBudgetStopsWithoutCompleting) {
+  const BipartiteGraph g = DenseComponent();
+  EnumerateRequest req;
+  req.algorithm = "itraversal";
+  req.time_budget_seconds = 1e-12;
+  EnumerateStats stats;
+  RunSchedulerPlan(g, req, "itraversal", 4, &stats);
+  EXPECT_FALSE(stats.completed);
+}
+
+TEST(TraversalSchedulerPlan, PreCancelledTokenStopsRun) {
+  const BipartiteGraph g = DenseComponent();
+  CancellationToken token;
+  token.Cancel();
+  EnumerateRequest req;
+  req.algorithm = "btraversal";
+  req.cancellation = &token;
+  EnumerateStats stats;
+  const std::vector<Biplex> got =
+      RunSchedulerPlan(g, req, "btraversal", 4, &stats);
+  EXPECT_FALSE(stats.completed);
+  // At most the seed solution slipped out before the first poll.
+  EXPECT_LE(got.size(), 1u);
+}
+
+// ------------------------------------------ facade plan composition ------
+
+TEST(ParallelFacade, TraversalFamilyAgreesOnSingleDenseComponent) {
+  // End-to-end: the facade must route single-component traversal-family
+  // requests to the scheduler plan (component sharding cannot split this
+  // graph) and still produce the sequential set at every thread count.
+  const BipartiteGraph g = DenseComponent();
+  Enumerator enumerator(g);
+  for (const char* name : {"itraversal", "itraversal-es", "itraversal-es-rs",
+                           "btraversal", "large-mbp"}) {
+    const bool large = name == std::string("large-mbp");
+    EnumerateRequest req;
+    req.algorithm = name;
+    req.theta_left = large ? 3 : 0;
+    req.theta_right = large ? 3 : 0;
+    req.threads = 1;
+    EnumerateStats seq_stats;
+    const std::vector<Biplex> expect = enumerator.Collect(req, &seq_stats);
+    ASSERT_TRUE(seq_stats.ok()) << name << ": " << seq_stats.error;
+    for (int threads : {2, 4, 8}) {
+      req.threads = threads;
+      EnumerateStats stats;
+      const std::vector<Biplex> got = enumerator.Collect(req, &stats);
+      ASSERT_TRUE(stats.ok()) << name << ": " << stats.error;
+      EXPECT_TRUE(stats.completed) << name << " threads=" << threads;
+      ASSERT_EQ(got, expect) << name << " threads=" << threads;
+    }
+  }
+}
+
+// --------------------------------------------------------- SortingSink ---
+
+TEST(SortingSink, FlushForwardsInCanonicalOrder) {
+  CollectingSink inner(/*sorted=*/false);
+  SortingSink sorter(&inner);
+  EXPECT_TRUE(sorter.ThreadCompatible());
+  EXPECT_TRUE(sorter.Accept(Biplex{{2}, {0}}));
+  EXPECT_TRUE(sorter.Accept(Biplex{{0, 1}, {1}}));
+  EXPECT_TRUE(sorter.Accept(Biplex{{0}, {2}}));
+  EXPECT_EQ(sorter.buffered(), 3u);
+  EXPECT_EQ(inner.size(), 0u);  // nothing forwarded before Flush
+  EXPECT_TRUE(sorter.Flush());
+  EXPECT_EQ(sorter.buffered(), 0u);
+  const std::vector<Biplex> got = inner.Take();
+  const std::vector<Biplex> want = {
+      Biplex{{0}, {2}}, Biplex{{0, 1}, {1}}, Biplex{{2}, {0}}};
+  EXPECT_EQ(got, want);
+}
+
+TEST(SortingSink, InnerRefusalStopsFlushEarly) {
+  int accepted = 0;
+  CallbackSink inner([&](const Biplex&) { return ++accepted < 2; });
+  SortingSink sorter(&inner);
+  sorter.Accept(Biplex{{1}, {1}});
+  sorter.Accept(Biplex{{0}, {0}});
+  sorter.Accept(Biplex{{2}, {2}});
+  EXPECT_FALSE(sorter.Flush());
+  EXPECT_EQ(accepted, 2);  // the refusal consumed the second solution
+  EXPECT_EQ(sorter.buffered(), 0u);  // buffer cleared either way
+}
+
+TEST(SortingSink, MakesParallelStreamOrderDeterministic) {
+  const BipartiteGraph g = DenseComponent();
+  Enumerator enumerator(g);
+  EnumerateRequest req;
+  req.algorithm = "itraversal";
+  req.threads = 1;
+  CollectingSink seq_inner(/*sorted=*/false);
+  SortingSink seq_sorter(&seq_inner);
+  ASSERT_TRUE(enumerator.Run(req, &seq_sorter).ok());
+  seq_sorter.Flush();
+  const std::vector<Biplex> expect = seq_inner.Take();
+
+  req.threads = 4;
+  CollectingSink par_inner(/*sorted=*/false);
+  SortingSink par_sorter(&par_inner);
+  ASSERT_TRUE(enumerator.Run(req, &par_sorter).ok());
+  par_sorter.Flush();
+  // Identical *sequence*, not just set: this is the property the CLI
+  // --sort flag and the wire "sort" key build their byte-stability on.
+  EXPECT_EQ(par_inner.Take(), expect);
+}
+
+}  // namespace
+}  // namespace kbiplex

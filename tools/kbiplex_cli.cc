@@ -48,6 +48,7 @@ struct CliArgs {
   EnumerateRequest request;
   std::string queries_path = "-";  // batch query source ("-" = stdin)
   bool json = false;
+  bool sort = false;    // buffer + emit solutions in canonical order
   bool quiet = false;   // suppress solution lines, print counts only
   bool accel = false;   // attach the hybrid adjacency index at prepare time
   bool renumber = false;  // degeneracy-renumber; ids mapped back on output
@@ -66,7 +67,7 @@ void PrintUsage() {
                "[--threads N]\n"
                "                    [--opt KEY=VALUE]... [--format text|json] "
                "[--quiet]\n"
-               "                    [--accel] [--renumber]\n"
+               "                    [--sort] [--accel] [--renumber]\n"
                "  kbiplex large <edge-list> --theta-l N --theta-r N [--k N] "
                "[--max N] [--budget S] [--quiet]\n"
                "  kbiplex batch <edge-list> [--queries FILE|-] [--accel] "
@@ -107,6 +108,8 @@ std::optional<CliArgs> Parse(int argc, char** argv) {
     };
     if (flag == "--quiet") {
       args.quiet = true;
+    } else if (flag == "--sort") {
+      args.sort = true;
     } else if (flag == "--accel") {
       args.accel = true;
     } else if (flag == "--renumber") {
@@ -161,7 +164,15 @@ int RunRequest(const CliArgs& args, BipartiteGraph g) {
   CountingSink counter;
   SolutionSink* sink =
       args.quiet ? static_cast<SolutionSink*>(&counter) : &writer;
+  // --sort buffers the run and emits in canonical order, making the
+  // solution lines byte-identical across --threads values (a parallel
+  // run's delivery order is scheduling-dependent; see
+  // docs/wire_protocol.md).
+  SortingSink sorter(sink);
+  const bool sorting = args.sort && !args.quiet;
+  if (sorting) sink = &sorter;
   EnumerateStats stats = session.Run(args.request, sink);
+  if (sorting) sorter.Flush();
   if (!stats.ok()) {
     std::cerr << "error: " << stats.error << "\n";
     if (args.json) std::cout << stats.ToJson() << "\n";

@@ -18,6 +18,13 @@ Two rules keep every lock visible to clang's thread-safety analysis
         // NOLINT(kbiplex-guarded-by): <reason>
      waiver stating why the member needs no lock.
 
+  C. Every KBIPLEX_GUARDED_BY(x) / KBIPLEX_PT_GUARDED_BY(x) whose
+     argument is a plain identifier must name a Mutex or SharedMutex
+     value member declared in the same class: an annotation against a
+     typoed or deleted lock name still compiles (the macro only feeds
+     the analysis) but guards nothing. Non-identifier arguments
+     (member paths, expressions) are left to clang.
+
 The member scan is a heuristic (regex + brace matching, not a real C++
 parser): it intentionally favors false negatives over false positives, so
 an unflagged member is not a proof of safety — clang -Wthread-safety is
@@ -43,8 +50,13 @@ RAW_PRIMITIVE = re.compile(
 # A *value* member of an annotated wrapper type ("Mutex mu_;"), not a
 # pointer/reference to one ("Mutex* const mu_;" in the RAII helpers).
 WRAPPER_MUTEX_MEMBER = re.compile(
-    r"(^|\s)(mutable\s+)?(kbiplex::)?(Mutex|SharedMutex)\s+[A-Za-z_]\w*\s*(;|$)"
+    r"(^|\s)(mutable\s+)?(kbiplex::)?(Mutex|SharedMutex)\s+"
+    r"([A-Za-z_]\w*)\s*(;|$)"
 )
+
+# The argument of a guard annotation, for rule C.
+GUARD_ARGUMENT = re.compile(r"\bKBIPLEX_(?:PT_)?GUARDED_BY\s*\(\s*([^)]*?)\s*\)")
+IDENTIFIER = re.compile(r"^[A-Za-z_]\w*$")
 
 GUARD_ANNOTATION = re.compile(r"\bKBIPLEX_(PT_)?GUARDED_BY\b")
 NOLINT_TOKEN = "KBIPLEX_NOLINT_GUARDED_BY_TOKEN"
@@ -201,10 +213,54 @@ def lint_rule_b(path, text, report):
             )
 
 
+def strip_braced(s):
+    """Removes balanced {...} regions (inline method bodies, nested
+    classes), leaving only this class's own member declarations."""
+    out, depth = [], 0
+    for ch in s:
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth = max(0, depth - 1)
+        elif depth == 0:
+            out.append(ch)
+    return "".join(out)
+
+
+def lint_rule_c(path, text, report):
+    for header_line, body in class_bodies(text):
+        # Brace-stripping keeps the declarations of *this* class only: a
+        # nested class's mutex (or guard annotation) lives inside braces
+        # and gets its own class_bodies pass.
+        statements = [s for s in top_level_statements(body) if s.strip()]
+        stripped = [strip_braced(s) for s in statements]
+        declared = {
+            m.group(5)
+            for s in stripped
+            for m in WRAPPER_MUTEX_MEMBER.finditer(s)
+        }
+        offset = 0
+        for raw, flat in zip(statements, stripped):
+            stmt_line = header_line + body.count("\n", 0, offset + len(raw))
+            offset += len(raw) + 1
+            for m in GUARD_ARGUMENT.finditer(flat):
+                arg = m.group(1)
+                if not IDENTIFIER.match(arg):
+                    continue  # member path / expression: out of scope
+                if arg not in declared:
+                    report(
+                        path,
+                        stmt_line,
+                        "KBIPLEX_GUARDED_BY(%s) names no Mutex/SharedMutex "
+                        "member declared in this class (rule C)" % arg,
+                    )
+
+
 def lint_file(path, text, report):
     stripped = strip_comments(text)
     lint_rule_a(path, stripped, report)
     lint_rule_b(path, stripped, report)
+    lint_rule_c(path, stripped, report)
 
 
 def lint_tree(root):
@@ -254,6 +310,15 @@ class Raii {
 };
 """
 
+SELF_TEST_STALE_GUARD = """
+class StaleGuard {
+ private:
+  Mutex mu_;
+  int counter_ KBIPLEX_GUARDED_BY(lock_) = 0;  // no such member
+  SolutionSink* sink_ KBIPLEX_PT_GUARDED_BY(mu);  // typo: mu_ declared
+};
+"""
+
 
 def self_test():
     failures = []
@@ -271,13 +336,17 @@ def self_test():
     expect("bad-class", SELF_TEST_BAD,
            ["unguarded_counter_", "raw standard sync primitive"])
     expect("good-class", SELF_TEST_GOOD, [])
+    expect("stale-guard", SELF_TEST_STALE_GUARD,
+           ["KBIPLEX_GUARDED_BY(lock_) names no",
+            "KBIPLEX_GUARDED_BY(mu) names no"])
     if failures:
         print("SELF-TEST FAILED")
         for f in failures:
             print("  " + f)
         return 1
-    print("self-test passed: lint fires on unannotated mutex members and "
-          "raw primitives, stays quiet on annotated ones")
+    print("self-test passed: lint fires on unannotated mutex members, raw "
+          "primitives, and guard annotations naming undeclared locks; "
+          "stays quiet on annotated ones")
     return 0
 
 
