@@ -181,6 +181,7 @@ class TraversalBackend final : public AlgorithmBackend {
                        {"off", AdjacencyAccelMode::kOff},
                        {"force", AdjacencyAccelMode::kForce}},
                       &opts.adjacency_accel);
+    reader.TakeSize("accel_budget", &opts.accel_budget_bytes);
     if (std::string err = reader.Finish(); !err.empty()) {
       return Rejected(std::move(err));
     }
@@ -233,6 +234,7 @@ class LargeMbpBackend final : public AlgorithmBackend {
                        {"off", AdjacencyAccelMode::kOff},
                        {"force", AdjacencyAccelMode::kForce}},
                       &opts.adjacency_accel);
+    reader.TakeSize("accel_budget", &opts.accel_budget_bytes);
     if (std::string err = reader.Finish(); !err.empty()) {
       return Rejected(std::move(err));
     }

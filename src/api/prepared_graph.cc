@@ -1,8 +1,10 @@
 #include "api/prepared_graph.h"
 
 #include <algorithm>
+#include <sstream>
 #include <utility>
 
+#include "util/json.h"
 #include "util/timer.h"
 
 namespace kbiplex {
@@ -111,7 +113,9 @@ void PreparedGraph::BuildExecutionGraph() const {
       break;
   }
   if (attach && target != nullptr) {
-    target->BuildAdjacencyIndex(options_.adjacency_min_degree);
+    target->BuildAdjacencyIndex(options_.adjacency_min_degree,
+                                options_.accel_budget_bytes);
+    counters_.RecordAdjacency(*target->adjacency_index());
   }
   exec_graph_ = target != nullptr ? target : graph_;
   counters_.Count(&PrepareArtifactStats::execution_graph_builds,
@@ -175,6 +179,23 @@ void PreparedGraph::Warmup() const {
 
 PrepareArtifactStats PreparedGraph::artifact_stats() const {
   return counters_.Snapshot();
+}
+
+std::string PrepareArtifactStats::ToJson() const {
+  std::ostringstream os;
+  os << "{\"execution_graph_builds\":" << execution_graph_builds
+     << ",\"component_builds\":" << component_builds
+     << ",\"component_subgraph_builds\":" << component_subgraph_builds
+     << ",\"core_bound_builds\":" << core_bound_builds
+     << ",\"build_seconds\":";
+  json::AppendDouble(os, build_seconds);
+  os << ",\"adjacency_memory_bytes\":" << adjacency_memory_bytes
+     << ",\"adjacency_dense_rows\":" << adjacency_dense_rows
+     << ",\"adjacency_sparse_rows\":" << adjacency_sparse_rows
+     << ",\"adjacency_dropped_rows\":" << adjacency_dropped_rows
+     << ",\"adjacency_dense_bytes\":" << adjacency_dense_bytes
+     << ",\"adjacency_sparse_bytes\":" << adjacency_sparse_bytes << '}';
+  return os.str();
 }
 
 }  // namespace kbiplex

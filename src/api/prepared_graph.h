@@ -23,6 +23,7 @@
 
 #include <memory>
 #include <mutex>
+#include <string>
 
 #include "core/traversal_options.h"
 #include "graph/adjacency_index.h"
@@ -46,6 +47,12 @@ struct PrepareOptions {
   /// Row threshold forwarded to the index build
   /// (AdjacencyIndex::kAutoThreshold = heuristic).
   size_t adjacency_min_degree = AdjacencyIndex::kAutoThreshold;
+
+  /// Memory budget (bytes) forwarded to the index build: bounds the
+  /// row-container pool by demoting rows to the compact sorted-array
+  /// representation and, past that, dropping rows back to CSR search
+  /// (see adjacency_index.h). kNoBudget = unlimited, every row dense.
+  size_t accel_budget_bytes = AdjacencyIndex::kNoBudget;
 
   /// Degeneracy-renumber the execution graph for cache locality (see
   /// graph/renumber.h). Queries still see and produce input-graph ids:
@@ -71,6 +78,21 @@ struct PrepareArtifactStats {
   int component_subgraph_builds = 0;  // materialized per-component graphs
   int core_bound_builds = 0;
   double build_seconds = 0;  // total time spent inside artifact builds
+
+  // Memory footprint of the attached adjacency index (all zero when no
+  // index was attached): total container bytes plus the per-representation
+  // row counts and bytes of the roaring-style dense/sparse split, and the
+  // number of qualifying rows a memory budget forced out entirely.
+  size_t adjacency_memory_bytes = 0;
+  size_t adjacency_dense_rows = 0;
+  size_t adjacency_sparse_rows = 0;
+  size_t adjacency_dropped_rows = 0;
+  size_t adjacency_dense_bytes = 0;
+  size_t adjacency_sparse_bytes = 0;
+
+  /// Serializes every field as one JSON object (additive schema: new
+  /// fields append, existing keys never change meaning).
+  std::string ToJson() const;
 };
 
 /// A graph prepared for repeated querying. Construct through Prepare()
@@ -160,6 +182,20 @@ class PreparedGraph {
     PrepareArtifactStats Snapshot() const KBIPLEX_EXCLUDES(mu) {
       MutexLock lock(&mu);
       return stats;
+    }
+
+    /// Records the memory footprint of the attached adjacency index.
+    void RecordAdjacency(const AdjacencyIndex& index) const
+        KBIPLEX_EXCLUDES(mu) {
+      const AdjacencyIndex::RepresentationStats& rep =
+          index.representation_stats();
+      MutexLock lock(&mu);
+      stats.adjacency_memory_bytes = index.MemoryBytes();
+      stats.adjacency_dense_rows = rep.dense_rows;
+      stats.adjacency_sparse_rows = rep.sparse_rows;
+      stats.adjacency_dropped_rows = rep.dropped_rows;
+      stats.adjacency_dense_bytes = rep.dense_bytes;
+      stats.adjacency_sparse_bytes = rep.sparse_bytes;
     }
   };
 

@@ -52,14 +52,16 @@ class TraversalEngine::Impl {
       case AdjacencyAccelMode::kAuto:
         accel_ = g_.adjacency_index();
         if (accel_ == nullptr && g_.NumEdges() >= kAutoIndexMinEdges) {
-          owned_accel_ = std::make_unique<AdjacencyIndex>(g_);
+          owned_accel_ = std::make_unique<AdjacencyIndex>(
+              g_, AdjacencyIndex::kAutoThreshold, opts_.accel_budget_bytes);
           accel_ = owned_accel_.get();
         }
         break;
       case AdjacencyAccelMode::kForce:
         accel_ = g_.adjacency_index();
         if (accel_ == nullptr) {
-          owned_accel_ = std::make_unique<AdjacencyIndex>(g_);
+          owned_accel_ = std::make_unique<AdjacencyIndex>(
+              g_, AdjacencyIndex::kAutoThreshold, opts_.accel_budget_bytes);
           accel_ = owned_accel_.get();
         }
         break;

@@ -20,6 +20,7 @@ LargeMbpStats LargeMbpEngine::Run(const SolutionCallback& cb) {
   topts.cancel = opts_.cancel;
   topts.candidate_gen = opts_.candidate_gen;
   topts.adjacency_accel = opts_.adjacency_accel;
+  topts.accel_budget_bytes = opts_.accel_budget_bytes;
   topts.scratch = opts_.scratch;
 
   if (!opts_.core_reduction) {

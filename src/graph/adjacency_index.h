@@ -1,14 +1,26 @@
-// Hybrid adjacency acceleration structure: per-vertex bitset rows for
-// high-degree vertices (O(1) membership tests) while low-degree vertices
-// keep using the graph's sorted CSR spans (O(log d) binary search). The
-// enumeration hot paths issue millions of adjacency tests per second; on
-// dense graphs the binary searches dominate the profile, and a bitset row
-// over the opposite side turns each test into one shift and mask.
+// Hybrid adjacency acceleration structure: per-vertex rows over the
+// opposite side for high-degree vertices (fast membership tests) while
+// low-degree vertices keep using the graph's sorted CSR spans (O(log d)
+// binary search). The enumeration hot paths issue millions of adjacency
+// tests per second; on dense graphs the binary searches dominate the
+// profile, and a row over the opposite side turns each test into one
+// shift-and-mask (dense rows) or a short search over a compact array
+// (sparse rows).
 //
-// Rows are only built for vertices whose degree reaches a threshold, so
-// the structure costs O(dense_vertices * opposite_side / 64) words instead
-// of a full |L| x |R| matrix. The index is immutable after construction
-// and safe to share across threads.
+// Rows are only built for vertices whose degree reaches a threshold, and
+// each row picks one of two roaring-style containers:
+//
+//   - dense: a bitset of ceil(|opposite|/64) words — O(1) tests, SIMD
+//     gather/popcount connection counts;
+//   - sparse: the sorted neighbor ids as a uint32 array — O(log d) tests,
+//     merge-based counts, but only (1 + degree) * 4 bytes.
+//
+// With no memory budget every row is dense (the fastest layout, identical
+// to the pre-compression behavior). A non-zero `memory_budget_bytes`
+// bounds the whole row pool: rows are demoted dense -> sparse by largest
+// byte savings first, then dropped entirely (smallest degree first, those
+// rows fall back to CSR search) until the pool fits. The index is
+// immutable after construction and safe to share across threads.
 #ifndef KBIPLEX_GRAPH_ADJACENCY_INDEX_H_
 #define KBIPLEX_GRAPH_ADJACENCY_INDEX_H_
 
@@ -17,12 +29,14 @@
 #include <vector>
 
 #include "util/common.h"
+#include "util/simd.h"
 
 namespace kbiplex {
 
 class BipartiteGraph;
 
-/// Bitset rows over the opposite side for the dense vertices of a graph.
+/// Per-row hybrid (dense bitset / sparse sorted-array) adjacency rows for
+/// the dense vertices of a graph, bounded by an optional memory budget.
 class AdjacencyIndex {
  public:
   /// Sentinel threshold: pick the threshold automatically (at least
@@ -33,12 +47,18 @@ class AdjacencyIndex {
   /// search over the adjacency list is already cheap.
   static constexpr size_t kMinAutoDegree = 16;
 
-  /// Builds rows for every vertex with degree >= `min_degree` on either
-  /// side. `min_degree` = kAutoThreshold selects a heuristic threshold.
-  explicit AdjacencyIndex(const BipartiteGraph& g,
-                          size_t min_degree = kAutoThreshold);
+  /// Sentinel budget: no limit, every row dense.
+  static constexpr size_t kNoBudget = 0;
 
-  /// True iff vertex `v` of side `side` has a bitset row.
+  /// Builds rows for every vertex with degree >= `min_degree` on either
+  /// side. `min_degree` = kAutoThreshold selects a heuristic threshold;
+  /// `memory_budget_bytes` = kNoBudget keeps every row dense, any other
+  /// value bounds the total container bytes (see the file comment).
+  explicit AdjacencyIndex(const BipartiteGraph& g,
+                          size_t min_degree = kAutoThreshold,
+                          size_t memory_budget_bytes = kNoBudget);
+
+  /// True iff vertex `v` of side `side` has a row (of either container).
   bool HasRow(Side side, VertexId v) const {
     const auto& starts = row_start_[SideIndex(side)];
     return v < starts.size() && starts[v] != kNoRow;
@@ -47,45 +67,84 @@ class AdjacencyIndex {
   /// Adjacency test through the row of `v` (side `side`) against vertex
   /// `u` of the opposite side. Requires HasRow(side, v).
   bool TestRow(Side side, VertexId v, VertexId u) const {
-    const size_t i = SideIndex(side);
-    const uint64_t word =
-        words_[row_start_[i][v] + (static_cast<size_t>(u) >> 6)];
+    const size_t start = row_start_[SideIndex(side)][v];
+    if (start & kSparseTag) {
+      return TestSparseRow(start & ~kSparseTag, u);
+    }
+    const uint64_t word = words_[start + (static_cast<size_t>(u) >> 6)];
     return (word >> (u & 63)) & 1ULL;
   }
 
   /// Number of vertices of `subset` (sorted ids of the opposite side)
-  /// adjacent to `v`. Requires HasRow(side, v); O(|subset|).
+  /// adjacent to `v`. Requires HasRow(side, v); O(|subset|) on dense rows
+  /// (SIMD gather/popcount), merge over the two sorted arrays on sparse
+  /// rows.
   size_t RowConnCount(Side side, VertexId v,
                       const std::vector<VertexId>& subset) const {
-    size_t n = 0;
-    const size_t i = SideIndex(side);
-    const uint64_t* row = words_.data() + row_start_[i][v];
-    for (VertexId u : subset) {
-      n += (row[static_cast<size_t>(u) >> 6] >> (u & 63)) & 1ULL;
+    const size_t start = row_start_[SideIndex(side)][v];
+    if (start & kSparseTag) {
+      return SparseRowConnCount(start & ~kSparseTag, subset);
     }
-    return n;
+    return kernels_->row_conn_count(words_.data() + start, subset.data(),
+                                    subset.size());
   }
 
   /// The threshold actually used (resolved from kAutoThreshold).
   size_t min_degree() const { return min_degree_; }
 
-  /// Rows built on a side.
+  /// The budget the build was given (kNoBudget = unlimited); preserved so
+  /// derived graphs (Induce, Transposed, renumber) rebuild like for like.
+  size_t memory_budget_bytes() const { return memory_budget_bytes_; }
+
+  /// Rows built on a side (both containers).
   size_t NumRows(Side side) const { return num_rows_[SideIndex(side)]; }
 
-  /// Bytes held by the row pool.
-  size_t MemoryBytes() const { return words_.size() * sizeof(uint64_t); }
+  /// Bytes held by the row containers (dense words + sparse arrays).
+  size_t MemoryBytes() const {
+    return words_.size() * sizeof(uint64_t) +
+           sparse_pool_.size() * sizeof(uint32_t);
+  }
+
+  /// Per-representation build outcome, for observability and the budget
+  /// tests: how many rows landed in each container, their bytes, and how
+  /// many qualifying rows the budget forced out entirely.
+  struct RepresentationStats {
+    size_t dense_rows = 0;
+    size_t sparse_rows = 0;
+    size_t dropped_rows = 0;  // qualifying rows omitted to fit the budget
+    size_t dense_bytes = 0;
+    size_t sparse_bytes = 0;
+
+    size_t total_bytes() const { return dense_bytes + sparse_bytes; }
+  };
+  const RepresentationStats& representation_stats() const { return stats_; }
 
  private:
   static constexpr size_t kNoRow = static_cast<size_t>(-1);
+  /// High bit of a row_start_ entry: the offset addresses sparse_pool_
+  /// (count-prefixed id array) instead of words_. kNoRow has every bit
+  /// set and never collides with a real tagged offset.
+  static constexpr size_t kSparseTag = static_cast<size_t>(1)
+                                       << (sizeof(size_t) * 8 - 1);
 
   static size_t SideIndex(Side s) { return s == Side::kLeft ? 0 : 1; }
 
+  bool TestSparseRow(size_t offset, VertexId u) const;
+  size_t SparseRowConnCount(size_t offset,
+                            const std::vector<VertexId>& subset) const;
+
   size_t min_degree_ = 0;
+  size_t memory_budget_bytes_ = kNoBudget;
   size_t num_rows_[2] = {0, 0};
-  // Word offset of v's row in `words_`, or kNoRow. Rows on side s span
-  // ceil(|opposite side|/64) words.
+  RepresentationStats stats_;
+  // Offset of v's row, tagged with kSparseTag for sparse rows, or kNoRow.
+  // Dense rows on side s span ceil(|opposite side|/64) words of words_;
+  // sparse rows are [count, id...] runs in sparse_pool_.
   std::vector<size_t> row_start_[2];
   std::vector<uint64_t> words_;
+  std::vector<uint32_t> sparse_pool_;
+  // SIMD kernel table resolved once at build (see util/simd.h).
+  const simd::Kernels* kernels_;
 };
 
 /// δ(v, subset) through `index` when it has a row for `v`, falling back to

@@ -71,12 +71,17 @@ BipartiteGraph BipartiteGraph::Transposed() const {
   g.right_offsets_ = left_offsets_;
   g.right_neighbors_ = left_neighbors_;
   // Rows are laid out per side, so the index does not survive the swap.
-  if (accel_ != nullptr) g.BuildAdjacencyIndex(accel_->min_degree());
+  if (accel_ != nullptr) {
+    g.BuildAdjacencyIndex(accel_->min_degree(),
+                          accel_->memory_budget_bytes());
+  }
   return g;
 }
 
-void BipartiteGraph::BuildAdjacencyIndex(size_t min_degree) {
-  accel_ = std::make_shared<const AdjacencyIndex>(*this, min_degree);
+void BipartiteGraph::BuildAdjacencyIndex(size_t min_degree,
+                                         size_t memory_budget_bytes) {
+  accel_ = std::make_shared<const AdjacencyIndex>(*this, min_degree,
+                                                  memory_budget_bytes);
 }
 
 size_t BipartiteGraph::ConnCount(Side side, VertexId v,
@@ -133,7 +138,9 @@ InducedSubgraph Induce(const BipartiteGraph& g,
   // Keep acceleration engaged across reductions ((θ−k)-core, component
   // sharding): the induced graph inherits an index when the parent had one.
   if (g.adjacency_index() != nullptr) {
-    out.graph.BuildAdjacencyIndex(g.adjacency_index()->min_degree());
+    out.graph.BuildAdjacencyIndex(
+        g.adjacency_index()->min_degree(),
+        g.adjacency_index()->memory_budget_bytes());
   }
   return out;
 }

@@ -83,13 +83,16 @@ class BipartiteGraph {
   }
 
   /// Builds and attaches the hybrid adjacency acceleration structure
-  /// (bitset rows for vertices with degree >= `min_degree`; see
-  /// adjacency_index.h). Idempotent for a fixed threshold; rebuilding with
-  /// a different threshold replaces the index. The index is shared by
-  /// copies made afterwards and is read-only, so attaching it before
-  /// fanning a graph out to worker threads is safe.
+  /// (per-row dense/sparse containers for vertices with degree >=
+  /// `min_degree`; see adjacency_index.h). `memory_budget_bytes` bounds
+  /// the container pool (kNoBudget = unlimited, every row dense).
+  /// Idempotent for fixed parameters; rebuilding with different ones
+  /// replaces the index. The index is shared by copies made afterwards
+  /// and is read-only, so attaching it before fanning a graph out to
+  /// worker threads is safe.
   void BuildAdjacencyIndex(
-      size_t min_degree = AdjacencyIndex::kAutoThreshold);
+      size_t min_degree = AdjacencyIndex::kAutoThreshold,
+      size_t memory_budget_bytes = AdjacencyIndex::kNoBudget);
 
   /// Detaches the acceleration structure (tests fall back to CSR search).
   void DropAdjacencyIndex() { accel_.reset(); }

@@ -35,10 +35,20 @@ struct LoadResult {
   bool ok() const { return graph.has_value(); }
 };
 
-/// Loads an edge-list file.
-LoadResult LoadEdgeList(const std::string& path);
+/// Default read-chunk size of the streaming loader.
+inline constexpr size_t kDefaultLoadChunkBytes = size_t{1} << 20;
 
-/// Parses an edge list from a string (same format as LoadEdgeList).
+/// Loads an edge-list file with a bounded-memory streaming reader: the
+/// file is consumed in `chunk_bytes` reads with at most one partial line
+/// carried between chunks, so peak memory is O(edges * sizeof(Edge) +
+/// chunk + longest line) — the file text is never materialized whole.
+/// `chunk_bytes` exists for tests that pin chunk-boundary behavior; any
+/// value >= 1 parses identically.
+LoadResult LoadEdgeList(const std::string& path,
+                        size_t chunk_bytes = kDefaultLoadChunkBytes);
+
+/// Parses an edge list from a string (same format and single-pass parser
+/// as LoadEdgeList).
 LoadResult ParseEdgeList(const std::string& text);
 
 /// Writes `g` as an edge-list file with a "L R M" header line.

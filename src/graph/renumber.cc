@@ -124,7 +124,9 @@ RenumberedGraph RenumberByDegeneracy(const BipartiteGraph& g) {
   }
   out.graph = BipartiteGraph::FromEdges(nl, nr, std::move(edges));
   if (g.adjacency_index() != nullptr) {
-    out.graph.BuildAdjacencyIndex(g.adjacency_index()->min_degree());
+    out.graph.BuildAdjacencyIndex(
+        g.adjacency_index()->min_degree(),
+        g.adjacency_index()->memory_budget_bytes());
   }
   return out;
 }

@@ -326,6 +326,9 @@ void Server::HandleLine(const std::shared_ptr<Connection>& conn,
     PrepareOptions prepare = options_.prepare;
     if (cmd.accel) prepare.adjacency_index = AdjacencyAccelMode::kForce;
     if (cmd.renumber) prepare.renumber = true;
+    if (cmd.accel_budget != 0) {
+      prepare.accel_budget_bytes = static_cast<size_t>(cmd.accel_budget);
+    }
     const std::string load_err = registry_.LoadFile(cmd.graph, cmd.path, prepare);
     if (!load_err.empty()) {
       conn->WriteLine(ErrorLine(cmd.id, kBadRequest, load_err));
@@ -524,6 +527,19 @@ std::string Server::ServerStatsBody() const {
        << ",\"rejected_overload\":" << counters.rejected_overload
        << ",\"rejected_draining\":" << counters.rejected_closed
        << ",\"requests\":" << aggregator_.ToJson();
+  // Per-graph artifact/memory block (additive schema): the prepare
+  // counters plus the adjacency-index representation footprint.
+  body << ",\"graphs\":[";
+  bool first = true;
+  for (const auto& [name, entry] : registry_.List()) {
+    if (!first) body << ',';
+    first = false;
+    body << "{\"name\":";
+    json::AppendEscaped(body, name);
+    body << ",\"artifacts\":" << entry.prepared->artifact_stats().ToJson()
+         << '}';
+  }
+  body << ']';
   return body.str();
 }
 

@@ -46,6 +46,12 @@ std::string ParseLoadOptions(const json::JsonValue& v, WireCommand* cmd) {
     } else if (key == "renumber") {
       if (!value.is_bool()) return "load option 'renumber' must be a bool";
       cmd->renumber = value.AsBool();
+    } else if (key == "accel_budget") {
+      if (!value.is_number() || value.AsNumber() < 0 ||
+          value.AsNumber() != std::floor(value.AsNumber())) {
+        return "load option 'accel_budget' must be a non-negative integer";
+      }
+      cmd->accel_budget = static_cast<uint64_t>(value.AsNumber());
     } else {
       return "unknown load option '" + key + "'";
     }

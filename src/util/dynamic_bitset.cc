@@ -1,6 +1,9 @@
 #include "util/dynamic_bitset.h"
 
+#include <algorithm>
 #include <bit>
+
+#include "util/simd.h"
 
 namespace kbiplex {
 namespace {
@@ -32,10 +35,14 @@ void DynamicBitset::SetAll() {
   }
 }
 
+void DynamicBitset::TruncateToSize() {
+  if (size_ % kWordBits != 0 && !words_.empty()) {
+    words_.back() &= (1ULL << (size_ % kWordBits)) - 1;
+  }
+}
+
 size_t DynamicBitset::Count() const {
-  size_t n = 0;
-  for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
-  return n;
+  return simd::Active().popcount(words_.data(), words_.size());
 }
 
 bool DynamicBitset::None() const {
@@ -46,31 +53,44 @@ bool DynamicBitset::None() const {
 }
 
 bool DynamicBitset::IsSubsetOf(const DynamicBitset& other) const {
-  for (size_t i = 0; i < words_.size(); ++i) {
-    if (words_[i] & ~other.words_[i]) return false;
+  const size_t common = std::min(words_.size(), other.words_.size());
+  if (!simd::Active().is_subset(words_.data(), other.words_.data(), common)) {
+    return false;
+  }
+  // `other` is zero beyond its own words, so any set bit of *this there
+  // breaks the subset relation. No-op in the identical-size common case.
+  for (size_t i = common; i < words_.size(); ++i) {
+    if (words_[i] != 0) return false;
   }
   return true;
 }
 
 bool DynamicBitset::Intersects(const DynamicBitset& other) const {
-  for (size_t i = 0; i < words_.size(); ++i) {
-    if (words_[i] & other.words_[i]) return true;
-  }
-  return false;
+  const size_t common = std::min(words_.size(), other.words_.size());
+  return simd::Active().intersects(words_.data(), other.words_.data(),
+                                   common);
 }
 
 DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  const size_t common = std::min(words_.size(), other.words_.size());
+  simd::Active().or_words(words_.data(), other.words_.data(), common);
+  // A larger `other` may carry bits past size_ in our last word.
+  if (other.size_ > size_) TruncateToSize();
   return *this;
 }
 
 DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  const size_t common = std::min(words_.size(), other.words_.size());
+  simd::Active().and_words(words_.data(), other.words_.data(), common);
+  // Beyond `other`'s words it is all zero: the intersection clears ours.
+  std::fill(words_.begin() + static_cast<ptrdiff_t>(common), words_.end(),
+            0);
   return *this;
 }
 
 DynamicBitset& DynamicBitset::operator-=(const DynamicBitset& other) {
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  const size_t common = std::min(words_.size(), other.words_.size());
+  simd::Active().andnot_words(words_.data(), other.words_.data(), common);
   return *this;
 }
 
@@ -90,11 +110,9 @@ size_t DynamicBitset::FindNextSet(size_t from) const {
 }
 
 size_t DynamicBitset::IntersectCount(const DynamicBitset& other) const {
-  size_t n = 0;
-  for (size_t i = 0; i < words_.size(); ++i) {
-    n += static_cast<size_t>(std::popcount(words_[i] & other.words_[i]));
-  }
-  return n;
+  const size_t common = std::min(words_.size(), other.words_.size());
+  return simd::Active().intersect_count(words_.data(), other.words_.data(),
+                                        common);
 }
 
 void DynamicBitset::AppendSetBits(std::vector<uint32_t>* out) const {

@@ -57,14 +57,20 @@ class DynamicBitset {
   bool None() const;
 
   /// True iff every set bit of *this is also set in `other`.
-  /// Requires identical sizes.
+  ///
+  /// Set operations below accept operands of any size: `other` behaves as
+  /// if zero-extended (or truncated) to this bitset's size, and the result
+  /// never carries bits past size(). Callers normally pass identical
+  /// sizes; the defined mixed-size semantics exist so a mismatch can never
+  /// read or write out of bounds (it used to index other's words by this
+  /// bitset's word count unchecked).
   bool IsSubsetOf(const DynamicBitset& other) const;
 
   /// True iff *this and `other` share at least one set bit.
-  /// Requires identical sizes.
   bool Intersects(const DynamicBitset& other) const;
 
-  /// In-place union / intersection / difference. Require identical sizes.
+  /// In-place union / intersection / difference with `other`
+  /// (zero-extended/truncated to size(), see IsSubsetOf).
   DynamicBitset& operator|=(const DynamicBitset& other);
   DynamicBitset& operator&=(const DynamicBitset& other);
   DynamicBitset& operator-=(const DynamicBitset& other);
@@ -81,7 +87,7 @@ class DynamicBitset {
   size_t FindNext(size_t from) const { return FindNextSet(from); }
 
   /// Number of bits set in both *this and `other` (popcount of the
-  /// intersection, without materializing it). Requires identical sizes.
+  /// intersection, without materializing it; mixed sizes per IsSubsetOf).
   size_t IntersectCount(const DynamicBitset& other) const;
 
   /// Invokes `fn(size_t index)` for every set bit in ascending order.
@@ -102,6 +108,9 @@ class DynamicBitset {
   void AppendSetBits(std::vector<uint32_t>* out) const;
 
  private:
+  /// Clears any bits of the last word at or past size().
+  void TruncateToSize();
+
   size_t size_;
   std::vector<uint64_t> words_;
 };

@@ -140,6 +140,83 @@ TEST(GraphIo, LoadMissingFileFails) {
   EXPECT_FALSE(r.ok());
 }
 
+// ----------------------------------------------------- streaming loader --
+
+/// Writes `text` to a temp file and returns the path (caller removes).
+std::filesystem::path WriteTempEdgeList(const std::string& text) {
+  auto path =
+      std::filesystem::temp_directory_path() / "kbiplex_stream_test.txt";
+  std::ofstream f(path, std::ios::binary);
+  f << text;
+  return path;
+}
+
+// The chunked reader must parse byte-identically to the in-memory parser
+// for every chunk size — including chunks of 1 byte, where every line
+// straddles a boundary — across inputs exercising each header heuristic.
+TEST(GraphIo, StreamingLoaderMatchesInMemoryParserAtEveryChunkSize) {
+  const std::string corpora[] = {
+      "",                                  // empty file
+      "% only a comment\n",                // no data lines
+      "3 4 2\n0 1\n2 3\n",                 // header
+      "0 1\n2 3\n",                        // headerless, sizes inferred
+      "0 1 5\n1 0 7\n2 2 9\n",             // headerless weighted (KONECT)
+      "5 5 3\n0 1 2\n1 2 9\n2 0 1\n",      // header over weighted lines
+      "% c\r\n2 2 1\r\n0 0\r\n",           // CRLF + comments
+      "0 1\n\n  \n2 3",                    // blanks, no trailing newline
+      "10 10 0\n",                         // lone header, zero edges
+      "0 1\n0 1\n1 0\n",                   // duplicate edge lines
+  };
+  for (const std::string& text : corpora) {
+    const LoadResult expect = ParseEdgeList(text);
+    auto path = WriteTempEdgeList(text);
+    for (size_t chunk : {size_t{1}, size_t{2}, size_t{3}, size_t{7},
+                         size_t{64}, kDefaultLoadChunkBytes}) {
+      const LoadResult got = LoadEdgeList(path.string(), chunk);
+      ASSERT_EQ(got.ok(), expect.ok())
+          << "chunk=" << chunk << " text=[" << text << "] got error '"
+          << got.error << "' expect '" << expect.error << "'";
+      if (expect.ok()) {
+        EXPECT_EQ(got.graph->NumLeft(), expect.graph->NumLeft())
+            << "chunk=" << chunk << " text=[" << text << "]";
+        EXPECT_EQ(got.graph->NumRight(), expect.graph->NumRight())
+            << "chunk=" << chunk << " text=[" << text << "]";
+        EXPECT_EQ(got.graph->Edges(), expect.graph->Edges())
+            << "chunk=" << chunk << " text=[" << text << "]";
+      } else {
+        EXPECT_EQ(got.error, expect.error) << "chunk=" << chunk;
+      }
+    }
+    std::filesystem::remove(path);
+  }
+}
+
+TEST(GraphIo, StreamingLoaderPreservesErrorLineNumbersAcrossChunks) {
+  // The bad line sits past several boundary-straddling good lines; the
+  // reported line number must not shift with the chunk size.
+  auto path = WriteTempEdgeList("0 1\n2 3\n4 5\nbogus line\n");
+  for (size_t chunk : {size_t{1}, size_t{5}, size_t{1024}}) {
+    const LoadResult r = LoadEdgeList(path.string(), chunk);
+    ASSERT_FALSE(r.ok()) << "chunk=" << chunk;
+    EXPECT_NE(r.error.find("line 4"), std::string::npos)
+        << "chunk=" << chunk << " error=" << r.error;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(GraphIo, StreamingLoaderHandlesLinesLongerThanTheChunk) {
+  // A comment line much longer than the chunk forces repeated carryover
+  // growth; the data after it must still parse.
+  std::string text = "% " + std::string(300, 'x') + "\n7 8\n";
+  auto path = WriteTempEdgeList(text);
+  const LoadResult r = LoadEdgeList(path.string(), /*chunk_bytes=*/16);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.graph->NumLeft(), 8u);
+  EXPECT_EQ(r.graph->NumRight(), 9u);
+  EXPECT_TRUE(r.graph->HasEdge(7, 8));
+  std::filesystem::remove(path);
+}
+
 // Regression: a headerless KONECT-style edge list whose lines carry a
 // weight/timestamp column used to have its first edge swallowed as an
 // "L R M" header (and later edges could then fail the range check).

@@ -258,6 +258,127 @@ TEST(DynamicBitset, IntersectCount) {
   EXPECT_EQ(i.Count(), a.IntersectCount(b));
 }
 
+// Regression: the set operations used to index `other`'s word array by
+// *this* bitset's word count with no size check — a larger lhs read past
+// the rhs allocation. Mixed sizes are now defined (`other` behaves
+// zero-extended/truncated to this size) and must never touch out-of-range
+// words; under ASan these cases crash if the old bug returns.
+TEST(DynamicBitset, MismatchedSizesAreZeroExtended) {
+  DynamicBitset big(200);
+  big.Set(3);
+  big.Set(64);
+  big.Set(199);
+  DynamicBitset small(64);
+  small.Set(3);
+
+  // rhs smaller than lhs: its missing words read as zero.
+  DynamicBitset d = big;
+  d -= small;  // clears only bit 3
+  EXPECT_FALSE(d.Test(3));
+  EXPECT_TRUE(d.Test(64));
+  EXPECT_TRUE(d.Test(199));
+
+  DynamicBitset i = big;
+  i &= small;  // everything past the small universe intersects to zero
+  EXPECT_TRUE(i.Test(3));
+  EXPECT_FALSE(i.Test(64));
+  EXPECT_FALSE(i.Test(199));
+  EXPECT_EQ(i.Count(), 1u);
+
+  DynamicBitset u = big;
+  u |= small;
+  EXPECT_EQ(u.Count(), 3u);
+
+  EXPECT_EQ(big.IntersectCount(small), 1u);
+  EXPECT_EQ(small.IntersectCount(big), 1u);
+  EXPECT_TRUE(big.Intersects(small));
+  EXPECT_FALSE(big.IsSubsetOf(small));  // bits 64/199 exceed `small`
+  EXPECT_TRUE(small.IsSubsetOf(big));
+
+  // lhs smaller than rhs: rhs truncates; bits past lhs.size() must never
+  // appear in the result.
+  DynamicBitset t(64);
+  t.Set(5);
+  t |= big;
+  EXPECT_TRUE(t.Test(3));
+  EXPECT_TRUE(t.Test(5));
+  EXPECT_EQ(t.Count(), 2u);  // 64 and 199 truncated away
+  EXPECT_EQ(t.size(), 64u);
+}
+
+TEST(DynamicBitset, MismatchedSizesAtWordBoundaryTails) {
+  // A 65-bit lhs vs a 63-bit rhs: one shared word plus a one-bit tail on
+  // each side of the boundary.
+  DynamicBitset a(65);
+  a.Set(62);
+  a.Set(64);
+  DynamicBitset b(63);
+  b.Set(62);
+  EXPECT_FALSE(a.IsSubsetOf(b));  // bit 64 lives past b's words
+  EXPECT_TRUE(b.IsSubsetOf(a));
+  EXPECT_EQ(a.IntersectCount(b), 1u);
+  DynamicBitset d = a;
+  d -= b;
+  EXPECT_FALSE(d.Test(62));
+  EXPECT_TRUE(d.Test(64));
+  // Union with a larger bitset must not smuggle bits past size() into the
+  // last word (Count walks raw words and would see them).
+  DynamicBitset wide(129);
+  wide.Set(64);
+  wide.Set(128);
+  DynamicBitset narrow(65);
+  narrow |= wide;
+  EXPECT_TRUE(narrow.Test(64));
+  EXPECT_EQ(narrow.Count(), 1u);
+}
+
+// The word-loop kernels behind the bitset route through simd::Active();
+// pin boundary sizes 63/64/65/127/129 against a bit-by-bit reference.
+TEST(DynamicBitset, KernelOpsAgreeWithBitReferenceAtBoundarySizes) {
+  Rng rng(78);
+  for (size_t bits : {63u, 64u, 65u, 127u, 129u}) {
+    DynamicBitset a(bits), b(bits);
+    std::set<size_t> in_a, in_b;
+    for (size_t i = 0; i < bits; ++i) {
+      if (rng.NextBool(0.4)) {
+        a.Set(i);
+        in_a.insert(i);
+      }
+      if (rng.NextBool(0.4)) {
+        b.Set(i);
+        in_b.insert(i);
+      }
+    }
+    size_t expect_common = 0;
+    bool expect_subset = true;
+    for (size_t i : in_a) {
+      if (in_b.count(i) != 0) {
+        ++expect_common;
+      } else {
+        expect_subset = false;
+      }
+    }
+    EXPECT_EQ(a.Count(), in_a.size()) << "bits=" << bits;
+    EXPECT_EQ(a.IntersectCount(b), expect_common) << "bits=" << bits;
+    EXPECT_EQ(a.IsSubsetOf(b), expect_subset) << "bits=" << bits;
+    EXPECT_EQ(a.Intersects(b), expect_common > 0) << "bits=" << bits;
+    DynamicBitset u = a;
+    u |= b;
+    DynamicBitset i = a;
+    i &= b;
+    DynamicBitset d = a;
+    d -= b;
+    for (size_t bit = 0; bit < bits; ++bit) {
+      const bool ia = in_a.count(bit) != 0;
+      const bool ib = in_b.count(bit) != 0;
+      ASSERT_EQ(u.Test(bit), ia || ib) << "bits=" << bits << " bit=" << bit;
+      ASSERT_EQ(i.Test(bit), ia && ib) << "bits=" << bits << " bit=" << bit;
+      ASSERT_EQ(d.Test(bit), ia && !ib)
+          << "bits=" << bits << " bit=" << bit;
+    }
+  }
+}
+
 // ---------------------------------------------------------- arena pool ---
 
 TEST(ArenaPool, RecyclesObjectsAndKeepsCapacity) {

@@ -52,6 +52,7 @@ struct CliArgs {
   bool quiet = false;   // suppress solution lines, print counts only
   bool accel = false;   // attach the hybrid adjacency index at prepare time
   bool renumber = false;  // degeneracy-renumber; ids mapped back on output
+  size_t accel_budget = 0;  // index memory budget in bytes (0 = unlimited)
 };
 
 void PrintUsage() {
@@ -67,7 +68,8 @@ void PrintUsage() {
                "[--threads N]\n"
                "                    [--opt KEY=VALUE]... [--format text|json] "
                "[--quiet]\n"
-               "                    [--sort] [--accel] [--renumber]\n"
+               "                    [--sort] [--accel] [--accel-budget B] "
+               "[--renumber]\n"
                "  kbiplex large <edge-list> --theta-l N --theta-r N [--k N] "
                "[--max N] [--budget S] [--quiet]\n"
                "  kbiplex batch <edge-list> [--queries FILE|-] [--accel] "
@@ -112,6 +114,16 @@ std::optional<CliArgs> Parse(int argc, char** argv) {
       args.sort = true;
     } else if (flag == "--accel") {
       args.accel = true;
+    } else if (flag == "--accel-budget") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      try {
+        args.accel_budget = static_cast<size_t>(std::stoull(*v));
+      } catch (...) {
+        std::cerr << "--accel-budget expects a byte count, got: " << *v
+                  << "\n";
+        return std::nullopt;
+      }
     } else if (flag == "--renumber") {
       args.renumber = true;
     } else if (flag == "--queries") {
@@ -148,6 +160,7 @@ PrepareOptions PreparePolicy(const CliArgs& args, bool one_shot) {
   PrepareOptions opts;
   opts.adjacency_index =
       args.accel ? AdjacencyAccelMode::kForce : AdjacencyAccelMode::kOff;
+  opts.accel_budget_bytes = args.accel_budget;
   opts.renumber = args.renumber;
   opts.core_bound_shortcut = !one_shot;
   return opts;
