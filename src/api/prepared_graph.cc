@@ -123,7 +123,10 @@ void PreparedGraph::BuildExecutionGraph() const {
 }
 
 const BipartiteGraph& PreparedGraph::ExecutionGraph() const {
-  std::call_once(exec_once_, [this] { BuildExecutionGraph(); });
+  std::call_once(exec_once_, [this] {
+    BuildExecutionGraph();
+    exec_built_.store(true, std::memory_order_release);
+  });
   return *exec_graph_;
 }
 
@@ -141,6 +144,7 @@ const ComponentLabeling& PreparedGraph::Components() const {
     components_ = LabelConnectedComponents(g);
     counters_.Count(&PrepareArtifactStats::component_builds,
                     timer.ElapsedSeconds());
+    components_built_.store(true, std::memory_order_release);
   });
   return components_;
 }
@@ -167,6 +171,7 @@ size_t PreparedGraph::MaxUniformCore() const {
     max_uniform_core_ = ComputeMaxUniformCore(g);
     counters_.Count(&PrepareArtifactStats::core_bound_builds,
                     timer.ElapsedSeconds());
+    core_bound_built_.store(true, std::memory_order_release);
   });
   return max_uniform_core_;
 }
@@ -195,6 +200,20 @@ std::string PrepareArtifactStats::ToJson() const {
      << ",\"adjacency_dropped_rows\":" << adjacency_dropped_rows
      << ",\"adjacency_dense_bytes\":" << adjacency_dense_bytes
      << ",\"adjacency_sparse_bytes\":" << adjacency_sparse_bytes << '}';
+  return os.str();
+}
+
+std::string UpdateLineage::ToJson() const {
+  std::ostringstream os;
+  os << "{\"epoch\":" << epoch << ",\"updates_applied\":" << updates_applied
+     << ",\"edges_inserted\":" << edges_inserted
+     << ",\"edges_deleted\":" << edges_deleted
+     << ",\"full_rebuilds\":" << full_rebuilds
+     << ",\"artifacts_incremental\":" << artifacts_incremental
+     << ",\"artifacts_rebuilt\":" << artifacts_rebuilt
+     << ",\"apply_seconds\":";
+  json::AppendDouble(os, apply_seconds);
+  os << '}';
   return os.str();
 }
 

@@ -21,6 +21,8 @@
 #ifndef KBIPLEX_API_PREPARED_GRAPH_H_
 #define KBIPLEX_API_PREPARED_GRAPH_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -34,6 +36,13 @@
 #include "util/thread_annotations.h"
 
 namespace kbiplex {
+
+namespace update {
+class UpdateBatch;
+struct UpdateOptions;
+struct UpdateResult;
+struct EpochBuilder;
+}  // namespace update
 
 /// Which artifacts a PreparedGraph applies to its execution graph.
 struct PrepareOptions {
@@ -92,6 +101,31 @@ struct PrepareArtifactStats {
 
   /// Serializes every field as one JSON object (additive schema: new
   /// fields append, existing keys never change meaning).
+  std::string ToJson() const;
+};
+
+/// Cumulative update history of a PreparedGraph's epoch chain. A freshly
+/// prepared graph is epoch 0; every successful ApplyUpdates produces a
+/// new immutable PreparedGraph at epoch N+1 carrying the chain's
+/// counters forward. Immutable on a published epoch — the update
+/// machinery fills it in before the new epoch becomes visible.
+struct UpdateLineage {
+  uint64_t epoch = 0;              // position in the chain (0 = fresh)
+  uint64_t updates_applied = 0;    // successful ApplyUpdates in the chain
+  uint64_t edges_inserted = 0;     // cumulative real inserts
+  uint64_t edges_deleted = 0;      // cumulative real deletes
+  uint64_t full_rebuilds = 0;      // applies past the staleness threshold
+  /// Artifacts carried across an epoch boundary by patching (spliced
+  /// CSR + reused permutation, patched index rows, union-find/dirty-BFS
+  /// component relabel, carried core bound) vs artifacts an apply
+  /// invalidated outright — they rebuild from scratch, eagerly or on
+  /// first use (a full rebuild invalidates every built artifact).
+  uint64_t artifacts_incremental = 0;
+  uint64_t artifacts_rebuilt = 0;
+  double apply_seconds = 0;  // total wall time inside ApplyUpdates
+
+  /// One JSON object, additive schema (same contract as
+  /// PrepareArtifactStats::ToJson).
   std::string ToJson() const;
 };
 
@@ -162,6 +196,29 @@ class PreparedGraph {
   /// Snapshot of the artifact build counters.
   PrepareArtifactStats artifact_stats() const;
 
+  /// Position of this instance in its update chain (0 = fresh Prepare).
+  uint64_t epoch() const { return lineage_.epoch; }
+
+  /// The chain's cumulative update history.
+  const UpdateLineage& lineage() const { return lineage_; }
+
+  /// Applies an edge-update batch copy-on-write: this instance is left
+  /// untouched (sessions borrowing it keep their snapshot), and on
+  /// success the result carries a new immutable PreparedGraph at epoch
+  /// N+1 with the same PrepareOptions. Artifacts this epoch already built
+  /// are carried into the successor incrementally — spliced CSR rows,
+  /// the reused degeneracy permutation, patched adjacency-index rows,
+  /// union-find + dirty-component relabeling, a monotone core bound —
+  /// unless the delta exceeds options.max_delta_fraction of the edge
+  /// count, in which case the successor is rebuilt from scratch (lazy
+  /// artifacts, like a fresh Prepare). Borrowed graphs reject updates.
+  /// Thread-safe against concurrent queries; concurrent ApplyUpdates
+  /// calls on the same instance are safe but produce sibling epochs —
+  /// serialize updates per graph (the serving registry does) to keep a
+  /// linear chain. Defined with the update subsystem (src/update/).
+  update::UpdateResult ApplyUpdates(const update::UpdateBatch& batch,
+                                    const update::UpdateOptions& options) const;
+
  private:
   /// The artifact build counters behind their own capability, so the
   /// thread-safety analysis can verify every access (the surrounding
@@ -199,6 +256,11 @@ class PreparedGraph {
     }
   };
 
+  /// The epoch builder constructs successor instances directly (private
+  /// constructor, lineage, pre-populated artifacts); see
+  /// update/incremental.cc.
+  friend struct update::EpochBuilder;
+
   PreparedGraph(BipartiteGraph g, PrepareOptions options);
   PreparedGraph(const BipartiteGraph* view, PrepareOptions options);
 
@@ -229,6 +291,20 @@ class PreparedGraph {
 
   mutable std::once_flag core_bound_once_;
   mutable size_t max_uniform_core_ = 0;
+
+  // Built-ness probes for the update machinery: each flag is stored
+  // (release) as the last step of its artifact's call_once lambda and
+  // loaded (acquire) by ApplyUpdates to decide which artifacts the
+  // successor epoch should carry incrementally — without forcing builds
+  // the predecessor never performed. Same publication invariant as the
+  // artifact members above.
+  mutable std::atomic<bool> exec_built_{false};
+  mutable std::atomic<bool> components_built_{false};
+  mutable std::atomic<bool> core_bound_built_{false};
+
+  // Epoch chain history; written only between construction and
+  // publication (EpochBuilder), immutable afterwards.
+  UpdateLineage lineage_;
 
   BuildCounters counters_;
 };

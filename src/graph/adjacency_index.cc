@@ -37,7 +37,32 @@ AdjacencyIndex::AdjacencyIndex(const BipartiteGraph& g, size_t min_degree,
   }
   min_degree_ = min_degree;
   memory_budget_bytes_ = memory_budget_bytes;
+  Build(g, nullptr, nullptr);
+}
 
+AdjacencyIndex::AdjacencyIndex(const BipartiteGraph& g,
+                               const AdjacencyIndex& prev,
+                               const std::vector<VertexId>& changed_left,
+                               const std::vector<VertexId>& changed_right)
+    : kernels_(&simd::Active()) {
+  // Inherit the predecessor's resolved threshold rather than re-running
+  // the auto heuristic: the plan must be a pure function of the degrees so
+  // unchanged rows keep identical layouts (the staleness threshold in
+  // src/update/ bounds how far the heuristic could have drifted anyway).
+  min_degree_ = prev.min_degree_;
+  memory_budget_bytes_ = prev.memory_budget_bytes_;
+  std::vector<char> changed[2];
+  changed[0].assign(g.NumLeft(), 0);
+  changed[1].assign(g.NumRight(), 0);
+  for (VertexId v : changed_left) changed[0][v] = 1;
+  for (VertexId u : changed_right) changed[1][u] = 1;
+  Build(g, &prev, changed);
+}
+
+void AdjacencyIndex::Build(const BipartiteGraph& g, const AdjacencyIndex* prev,
+                           const std::vector<char>* changed) {
+  const size_t min_degree = min_degree_;
+  const size_t memory_budget_bytes = memory_budget_bytes_;
   const size_t row_words[2] = {WordsFor(g.NumRight()), WordsFor(g.NumLeft())};
   row_start_[0].assign(g.NumLeft(), kNoRow);
   row_start_[1].assign(g.NumRight(), kNoRow);
@@ -130,9 +155,30 @@ AdjacencyIndex::AdjacencyIndex(const BipartiteGraph& g, size_t min_degree,
   for (size_t i = 0; i < rows.size(); ++i) {
     if (repr[i] == kDropped) continue;
     const PlannedRow& r = rows[i];
+    const size_t start = row_start_[r.side][r.v];
+    if (prev != nullptr && changed[r.side][r.v] == 0 &&
+        r.v < prev->row_start_[r.side].size()) {
+      // The vertex's adjacency is identical to the previous build; when
+      // the old index holds its row in the same representation, the
+      // container bytes transfer verbatim — a memcpy instead of the
+      // per-neighbor fill below, which is where the incremental rebuild
+      // earns its keep on small deltas.
+      const size_t pstart = prev->row_start_[r.side][r.v];
+      if (pstart != kNoRow && (pstart & kSparseTag) == (start & kSparseTag)) {
+        if (start & kSparseTag) {
+          const uint32_t* src =
+              prev->sparse_pool_.data() + (pstart & ~kSparseTag);
+          std::copy(src, src + 1 + r.degree,
+                    sparse_pool_.data() + (start & ~kSparseTag));
+        } else {
+          const uint64_t* src = prev->words_.data() + pstart;
+          std::copy(src, src + row_words[r.side], words_.data() + start);
+        }
+        continue;
+      }
+    }
     const Side side = r.side == 0 ? Side::kLeft : Side::kRight;
     const auto neighbors = g.Neighbors(side, r.v);
-    const size_t start = row_start_[r.side][r.v];
     if (start & kSparseTag) {
       uint32_t* out = sparse_pool_.data() + (start & ~kSparseTag);
       *out++ = static_cast<uint32_t>(neighbors.size());

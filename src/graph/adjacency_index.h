@@ -58,6 +58,21 @@ class AdjacencyIndex {
                           size_t min_degree = kAutoThreshold,
                           size_t memory_budget_bytes = kNoBudget);
 
+  /// Incremental rebuild against a small edge delta: plans rows for `g`
+  /// exactly like the primary constructor (with `prev`'s resolved
+  /// threshold and budget, so the plan stays deterministic across
+  /// epochs), but copies container bytes straight out of `prev` for every
+  /// row whose vertex is in neither changed set and whose planned
+  /// representation matches the previous build; only rows of
+  /// `changed_left` / `changed_right` (sorted ids whose neighbor sets
+  /// differ between the graphs) and rows the budget planner moved between
+  /// representations are filled from `g`'s adjacency. `g` must have the
+  /// same vertex counts as the graph `prev` was built from — the update
+  /// subsystem only changes edges, never the vertex sets.
+  AdjacencyIndex(const BipartiteGraph& g, const AdjacencyIndex& prev,
+                 const std::vector<VertexId>& changed_left,
+                 const std::vector<VertexId>& changed_right);
+
   /// True iff vertex `v` of side `side` has a row (of either container).
   bool HasRow(Side side, VertexId v) const {
     const auto& starts = row_start_[SideIndex(side)];
@@ -128,6 +143,13 @@ class AdjacencyIndex {
                                        << (sizeof(size_t) * 8 - 1);
 
   static size_t SideIndex(Side s) { return s == Side::kLeft ? 0 : 1; }
+
+  /// Shared build: plan (qualify + budget) and fill. `prev` non-null
+  /// activates the copy-unchanged-rows fast path of the incremental
+  /// constructor; `changed[side]` then flags the vertices whose rows must
+  /// be refilled from `g`.
+  void Build(const BipartiteGraph& g, const AdjacencyIndex* prev,
+             const std::vector<char>* changed);
 
   bool TestSparseRow(size_t offset, VertexId u) const;
   size_t SparseRowConnCount(size_t offset,

@@ -64,6 +64,85 @@ std::vector<BipartiteGraph::Edge> BipartiteGraph::Edges() const {
   return out;
 }
 
+BipartiteGraph BipartiteGraph::WithEdgeDelta(
+    const std::vector<Edge>& insert, const std::vector<Edge>& erase) const {
+  const size_t nl = NumLeft();
+  const size_t nr = NumRight();
+  assert(NumEdges() + insert.size() >= erase.size());
+  const size_t new_edges = NumEdges() + insert.size() - erase.size();
+
+  BipartiteGraph g;
+  // Left side: the delta lists are already sorted by (left, right), so one
+  // forward sweep merges each old adjacency row with its inserted ids and
+  // skips its erased ids.
+  g.left_offsets_.assign(nl + 1, 0);
+  g.left_neighbors_.reserve(new_edges);
+  {
+    size_t ii = 0;  // cursor into insert
+    size_t ei = 0;  // cursor into erase
+    for (VertexId l = 0; l < nl; ++l) {
+      const auto nb = LeftNeighbors(l);
+      size_t a = 0;
+      while (a < nb.size() ||
+             (ii < insert.size() && insert[ii].first == l)) {
+        const bool has_ins = ii < insert.size() && insert[ii].first == l;
+        if (a < nb.size() && (!has_ins || nb[a] < insert[ii].second)) {
+          if (ei < erase.size() && erase[ei].first == l &&
+              erase[ei].second == nb[a]) {
+            ++ei;  // erased: drop the old neighbor
+          } else {
+            g.left_neighbors_.push_back(nb[a]);
+          }
+          ++a;
+        } else {
+          g.left_neighbors_.push_back(insert[ii++].second);
+        }
+      }
+      g.left_offsets_[l + 1] = g.left_neighbors_.size();
+    }
+    assert(ii == insert.size() && ei == erase.size());
+  }
+  assert(g.left_neighbors_.size() == new_edges);
+
+  // Right side: the same sweep over delta copies re-sorted by (right,
+  // left) — the delta is small, so the sort is O(delta log delta) against
+  // the O(|E| log |E|) a FromEdges rebuild would pay.
+  const auto by_rl = [](const Edge& a, const Edge& b) {
+    return a.second != b.second ? a.second < b.second : a.first < b.first;
+  };
+  std::vector<Edge> rins = insert;
+  std::vector<Edge> rera = erase;
+  std::sort(rins.begin(), rins.end(), by_rl);
+  std::sort(rera.begin(), rera.end(), by_rl);
+  g.right_offsets_.assign(nr + 1, 0);
+  g.right_neighbors_.reserve(new_edges);
+  {
+    size_t ii = 0;
+    size_t ei = 0;
+    for (VertexId r = 0; r < nr; ++r) {
+      const auto nb = RightNeighbors(r);
+      size_t a = 0;
+      while (a < nb.size() || (ii < rins.size() && rins[ii].second == r)) {
+        const bool has_ins = ii < rins.size() && rins[ii].second == r;
+        if (a < nb.size() && (!has_ins || nb[a] < rins[ii].first)) {
+          if (ei < rera.size() && rera[ei].second == r &&
+              rera[ei].first == nb[a]) {
+            ++ei;
+          } else {
+            g.right_neighbors_.push_back(nb[a]);
+          }
+          ++a;
+        } else {
+          g.right_neighbors_.push_back(rins[ii++].first);
+        }
+      }
+      g.right_offsets_[r + 1] = g.right_neighbors_.size();
+    }
+    assert(ii == rins.size() && ei == rera.size());
+  }
+  return g;
+}
+
 BipartiteGraph BipartiteGraph::Transposed() const {
   BipartiteGraph g;
   g.left_offsets_ = right_offsets_;

@@ -94,6 +94,14 @@ class BipartiteGraph {
       size_t min_degree = AdjacencyIndex::kAutoThreshold,
       size_t memory_budget_bytes = AdjacencyIndex::kNoBudget);
 
+  /// Attaches an externally built acceleration structure. The incremental
+  /// update path (src/update/) patches the predecessor epoch's index
+  /// against the new adjacency instead of rebuilding it row by row; the
+  /// index handed in here must describe exactly this graph's adjacency.
+  void AttachAdjacencyIndex(std::shared_ptr<const AdjacencyIndex> index) {
+    accel_ = std::move(index);
+  }
+
   /// Detaches the acceleration structure (tests fall back to CSR search).
   void DropAdjacencyIndex() { accel_.reset(); }
 
@@ -108,6 +116,18 @@ class BipartiteGraph {
 
   /// Materializes the edge list (sorted by (left, right)).
   std::vector<Edge> Edges() const;
+
+  /// Returns a copy of the graph with `insert` added and `erase` removed,
+  /// splicing the CSR arrays directly in O(|V| + |E| + delta) — no
+  /// FromEdges re-sort. Contract (update::UpdateBatch::Normalize
+  /// establishes it): both lists are sorted by (left, right) and
+  /// duplicate-free, every insert edge is absent from the graph, every
+  /// erase edge is present, and the two lists are disjoint. No adjacency
+  /// index carries over — the result reflects different adjacency, so
+  /// callers attach a fresh or patched index themselves (see
+  /// AttachAdjacencyIndex and the AdjacencyIndex patch constructor).
+  BipartiteGraph WithEdgeDelta(const std::vector<Edge>& insert,
+                               const std::vector<Edge>& erase) const;
 
   /// Returns the graph with the two sides swapped (left becomes right).
   BipartiteGraph Transposed() const;

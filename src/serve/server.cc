@@ -347,6 +347,39 @@ void Server::HandleLine(const std::shared_ptr<Connection>& conn,
     conn->WriteLine(ResponseLine(cmd.id, "loaded", body.str()));
     return;
   }
+  if (cmd.op == "update") {
+    update::UpdateBatch batch;
+    for (const auto& [l, r] : cmd.insert_edges) batch.Insert(l, r);
+    for (const auto& [l, r] : cmd.erase_edges) batch.Remove(l, r);
+    update::UpdateOptions opts;
+    if (cmd.max_delta_fraction >= 0) {
+      opts.max_delta_fraction = cmd.max_delta_fraction;
+    }
+    opts.force_rebuild = cmd.force_rebuild;
+    // The apply itself runs on the connection thread, outside the
+    // registry lock — concurrent queries keep their snapshot and are
+    // never blocked; updates to the same graph serialize in the registry.
+    const UpdateApplyOutcome outcome =
+        registry_.ApplyUpdates(cmd.graph, batch, opts);
+    if (!outcome.ok()) {
+      conn->WriteLine(ErrorLine(cmd.id, outcome.error_code, outcome.error));
+      return;
+    }
+    const update::UpdateResult& r = outcome.result;
+    std::ostringstream body;
+    body << "\"graph\":";
+    json::AppendEscaped(body, cmd.graph);
+    body << ",\"generation\":" << outcome.generation
+         << ",\"epoch\":" << r.prepared->epoch()
+         << ",\"inserted\":" << r.edges_inserted
+         << ",\"deleted\":" << r.edges_deleted
+         << ",\"noop_inserts\":" << r.noop_inserts
+         << ",\"noop_deletes\":" << r.noop_deletes
+         << ",\"rebuilt\":" << json::Bool(r.rebuilt) << ",\"seconds\":";
+    json::AppendDouble(body, r.seconds);
+    conn->WriteLine(ResponseLine(cmd.id, "updated", body.str()));
+    return;
+  }
   if (cmd.op == "evict") {
     if (!registry_.Evict(cmd.graph)) {
       conn->WriteLine(ErrorLine(cmd.id, kUnknownGraph,
@@ -536,7 +569,12 @@ std::string Server::ServerStatsBody() const {
     first = false;
     body << "{\"name\":";
     json::AppendEscaped(body, name);
-    body << ",\"artifacts\":" << entry.prepared->artifact_stats().ToJson()
+    body << ",\"generation\":" << entry.generation
+         << ",\"epoch\":" << entry.prepared->epoch()
+         << ",\"pending_retired_epochs\":"
+         << registry_.PendingRetiredEpochs(name)
+         << ",\"updates\":" << entry.prepared->lineage().ToJson()
+         << ",\"artifacts\":" << entry.prepared->artifact_stats().ToJson()
          << '}';
   }
   body << ']';

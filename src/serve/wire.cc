@@ -59,6 +59,49 @@ std::string ParseLoadOptions(const json::JsonValue& v, WireCommand* cmd) {
   return "";
 }
 
+std::string ParseEdgeArray(const json::JsonValue& v, const std::string& key,
+                           std::vector<std::pair<uint32_t, uint32_t>>* out) {
+  if (!v.is_array()) return "'" + key + "' must be an array of [L,R] pairs";
+  for (const json::JsonValue& e : v.AsArray()) {
+    if (!e.is_array() || e.AsArray().size() != 2) {
+      return "each '" + key + "' entry must be a [left, right] pair";
+    }
+    uint32_t ids[2];
+    for (int i = 0; i < 2; ++i) {
+      const json::JsonValue& n = e.AsArray()[i];
+      if (!n.is_number() || n.AsNumber() < 0 ||
+          n.AsNumber() != std::floor(n.AsNumber()) ||
+          n.AsNumber() > 4294967295.0) {
+        return "'" + key + "' vertex ids must be 32-bit unsigned integers";
+      }
+      ids[i] = static_cast<uint32_t>(n.AsNumber());
+    }
+    out->emplace_back(ids[0], ids[1]);
+  }
+  return "";
+}
+
+std::string ParseUpdateOptions(const json::JsonValue& v, WireCommand* cmd) {
+  if (!v.is_object()) return "'options' must be an object";
+  for (const auto& [key, value] : v.AsObject()) {
+    if (key == "max_delta_fraction") {
+      if (!value.is_number() || value.AsNumber() < 0) {
+        return "update option 'max_delta_fraction' must be a non-negative "
+               "number";
+      }
+      cmd->max_delta_fraction = value.AsNumber();
+    } else if (key == "force_rebuild") {
+      if (!value.is_bool()) {
+        return "update option 'force_rebuild' must be a bool";
+      }
+      cmd->force_rebuild = value.AsBool();
+    } else {
+      return "unknown update option '" + key + "'";
+    }
+  }
+  return "";
+}
+
 }  // namespace
 
 std::string ParseCommand(const std::string& line, WireCommand* cmd) {
@@ -140,6 +183,32 @@ std::string ParseCommand(const std::string& line, WireCommand* cmd) {
         cmd->graph = value.AsString();
         continue;
       }
+    } else if (cmd->op == "update") {
+      if (key == "name") {
+        if (!value.is_string()) return "'name' must be a string";
+        cmd->graph = value.AsString();
+        continue;
+      }
+      if (key == "insert") {
+        if (std::string err = ParseEdgeArray(value, key, &cmd->insert_edges);
+            !err.empty()) {
+          return err;
+        }
+        continue;
+      }
+      if (key == "delete") {
+        if (std::string err = ParseEdgeArray(value, key, &cmd->erase_edges);
+            !err.empty()) {
+          return err;
+        }
+        continue;
+      }
+      if (key == "options") {
+        if (std::string err = ParseUpdateOptions(value, cmd); !err.empty()) {
+          return err;
+        }
+        continue;
+      }
     }
     return "unknown key '" + key + "' for op '" + cmd->op + "'";
   }
@@ -151,6 +220,8 @@ std::string ParseCommand(const std::string& line, WireCommand* cmd) {
     if (cmd->path.empty()) return "load needs a 'path'";
   } else if (cmd->op == "evict") {
     if (cmd->graph.empty()) return "evict needs a 'name'";
+  } else if (cmd->op == "update") {
+    if (cmd->graph.empty()) return "update needs a 'name'";
   } else if (cmd->op != "list" && cmd->op != "stats" && cmd->op != "ping" &&
              cmd->op != "drain") {
     return "unknown op '" + cmd->op + "'";

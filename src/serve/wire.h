@@ -9,6 +9,9 @@
 //   {"op":"load","id":ID,"name":NAME,"path":PATH,
 //    "options":{"accel":BOOL,"renumber":BOOL,"accel_budget":BYTES}}
 //   {"op":"evict","id":ID,"name":NAME}
+//   {"op":"update","id":ID,"name":NAME,"insert":[[L,R],...],
+//    "delete":[[L,R],...],
+//    "options":{"max_delta_fraction":F,"force_rebuild":BOOL}}
 //   {"op":"list","id":ID}   {"op":"stats","id":ID}
 //   {"op":"ping","id":ID}   {"op":"drain","id":ID}
 //
@@ -20,6 +23,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "api/enumerate_request.h"
 #include "core/biplex.h"
@@ -33,6 +38,7 @@ namespace serve {
 enum WireError : int {
   kBadRequest = 400,        // malformed JSON, unknown op/key, bad value
   kUnknownGraph = 404,      // query/evict names a graph not in the registry
+  kConflict = 409,          // update raced a reload/evict; retry
   kOverloaded = 429,        // admission queue full
   kDraining = 503,          // server is shutting down
   kDeadlineExceeded = 504,  // per-request deadline expired
@@ -55,6 +61,12 @@ struct WireCommand {
   bool sort = false;  // query: stream solutions in canonical order (the
                       // buffered-then-sorted emission that makes parallel
                       // runs' solution streams order-deterministic)
+  // update: edge delta as (left, right) pairs, in client order (the
+  // normalizer sorts/dedups them).
+  std::vector<std::pair<uint32_t, uint32_t>> insert_edges;
+  std::vector<std::pair<uint32_t, uint32_t>> erase_edges;
+  double max_delta_fraction = -1;  // update option: < 0 = server default
+  bool force_rebuild = false;      // update option: skip artifact patching
 };
 
 /// Parses one command line. Returns the error message (empty on

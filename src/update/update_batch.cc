@@ -1,0 +1,51 @@
+#include "update/update_batch.h"
+
+#include <map>
+#include <sstream>
+
+namespace kbiplex {
+namespace update {
+
+std::string UpdateBatch::Normalize(const BipartiteGraph& g,
+                                   NormalizedDelta* out) const {
+  out->insert.clear();
+  out->erase.clear();
+  out->noop_inserts = 0;
+  out->noop_deletes = 0;
+
+  // Last-op-wins dedup: replaying the batch in order into a map leaves
+  // exactly the final operation per edge, and the map's (left, right)
+  // ordering hands the sorted delta lists back for free.
+  std::map<BipartiteGraph::Edge, Op> last;
+  for (const auto& [edge, op] : ops_) {
+    if (edge.first >= g.NumLeft() || edge.second >= g.NumRight()) {
+      std::ostringstream os;
+      os << "edge (" << edge.first << "," << edge.second
+         << ") out of range for a " << g.NumLeft() << "x" << g.NumRight()
+         << " graph";
+      return os.str();
+    }
+    last[edge] = op;
+  }
+
+  for (const auto& [edge, op] : last) {
+    const bool present = g.HasEdge(edge.first, edge.second);
+    if (op == Op::kInsert) {
+      if (present) {
+        ++out->noop_inserts;
+      } else {
+        out->insert.push_back(edge);
+      }
+    } else {
+      if (present) {
+        out->erase.push_back(edge);
+      } else {
+        ++out->noop_deletes;
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace update
+}  // namespace kbiplex

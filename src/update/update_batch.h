@@ -1,0 +1,68 @@
+// Edge-update collection for the incremental update subsystem: an
+// UpdateBatch gathers edge inserts and deletes in arrival order, and
+// Normalize() turns them into the canonical delta the copy-on-write epoch
+// machinery consumes — validated against the target graph, deduplicated
+// (the last operation on an edge wins, like a write-ahead log replay),
+// and with no-ops (inserting a present edge, deleting an absent one)
+// dropped but counted, so callers can report exactly what changed.
+//
+// Vertex sets are fixed: an update changes edges between the existing
+// left/right id spaces, never the spaces themselves. Growing the graph is
+// a reload, not an update (see docs/incremental_updates.md).
+#ifndef KBIPLEX_UPDATE_UPDATE_BATCH_H_
+#define KBIPLEX_UPDATE_UPDATE_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "util/common.h"
+
+namespace kbiplex {
+namespace update {
+
+/// The canonical form of a batch against one concrete graph: both lists
+/// sorted by (left, right), duplicate-free, disjoint; every insert edge
+/// is absent from the graph and every erase edge present — exactly the
+/// contract BipartiteGraph::WithEdgeDelta splices under.
+struct NormalizedDelta {
+  std::vector<BipartiteGraph::Edge> insert;
+  std::vector<BipartiteGraph::Edge> erase;
+  size_t noop_inserts = 0;  // inserts of edges already present (dropped)
+  size_t noop_deletes = 0;  // deletes of edges not present (dropped)
+
+  size_t size() const { return insert.size() + erase.size(); }
+  bool empty() const { return insert.empty() && erase.empty(); }
+};
+
+/// An ordered collection of edge operations awaiting application.
+class UpdateBatch {
+ public:
+  void Insert(VertexId left, VertexId right) {
+    ops_.push_back({{left, right}, Op::kInsert});
+  }
+  void Remove(VertexId left, VertexId right) {
+    ops_.push_back({{left, right}, Op::kRemove});
+  }
+
+  size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+
+  /// Validates every operation against `g` (ids must be in range),
+  /// collapses repeated operations on the same edge to the last one, and
+  /// classifies each survivor as a real change or a no-op. Returns the
+  /// error message (empty on success); on error `*out` is unspecified.
+  std::string Normalize(const BipartiteGraph& g, NormalizedDelta* out) const;
+
+ private:
+  enum class Op : uint8_t { kInsert, kRemove };
+  std::vector<std::pair<BipartiteGraph::Edge, Op>> ops_;
+};
+
+}  // namespace update
+}  // namespace kbiplex
+
+#endif  // KBIPLEX_UPDATE_UPDATE_BATCH_H_

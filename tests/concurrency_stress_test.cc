@@ -7,7 +7,10 @@
 //      interleave;
 //   2. one PreparedGraph under many interleaved QuerySessions, so the
 //      lazy call_once artifact builds (execution graph, components,
-//      component subgraphs, core bound) race from every direction.
+//      component subgraphs, core bound) race from every direction;
+//   3. the incremental update path: wire updaters publishing new epochs
+//      while query clients, a load/evict flapper, and stats pollers race
+//      the registry's copy-on-write publish and epoch retirement.
 //
 // These tests assert protocol- and result-level invariants, but their main
 // job is giving TSan (cmake -DKBIPLEX_TSAN=ON) real interleavings to
@@ -15,6 +18,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -24,7 +28,9 @@
 #include "api/query_session.h"
 #include "graph/graph_io.h"
 #include "serve/client.h"
+#include "serve/graph_registry.h"
 #include "serve/server.h"
+#include "update/update_batch.h"
 #include "util/json_value.h"
 
 namespace kbiplex {
@@ -169,6 +175,171 @@ TEST(ConcurrencyStress, ServerSurvivesQueryEvictStatsCrossfire) {
   // terminal the clients saw was recorded.
   EXPECT_GE(server.stats().Total().requests,
             static_cast<uint64_t>(done_responses.load()));
+}
+
+TEST(ConcurrencyStress, UpdatersRaceQueriesAndEvictions) {
+  ServerOptions options;
+  options.workers = 4;
+  options.queue_capacity = 8;
+  Server server(options);
+  server.registry().Add("dense", DenseGraph(), options.prepare);
+  ASSERT_EQ(server.Start(), "");
+
+  constexpr int kQueryClients = 3;
+  constexpr int kRoundsPerClient = 10;
+  std::atomic<int> protocol_failures{0};
+  std::atomic<int> updated_responses{0};
+  std::atomic<bool> stop_pollers{false};
+  std::vector<std::thread> threads;
+
+  // Query clients against the graph the updaters mutate: a query may run
+  // on any epoch (each worker session snapshots one), but every terminal
+  // must be a parsable done/error line.
+  for (int c = 0; c < kQueryClients; ++c) {
+    threads.emplace_back([&, c] {
+      LineClient client;
+      if (!client.Connect("127.0.0.1", server.port()).empty()) {
+        ++protocol_failures;
+        return;
+      }
+      for (int round = 0; round < kRoundsPerClient; ++round) {
+        const std::string id =
+            std::to_string(c) + "-" + std::to_string(round);
+        const std::string line =
+            "{\"op\":\"query\",\"id\":\"" + id +
+            "\",\"graph\":\"dense\",\"emit\":\"count\",\"request\":"
+            "{\"algo\":\"itraversal\",\"k\":2,\"budget_s\":0.01}}";
+        const std::string type = RoundTripType(&client, line);
+        if (type != "done" && type != "error") ++protocol_failures;
+      }
+    });
+  }
+
+  // Updaters: one toggles edges of the stable graph (every round must end
+  // in "updated" — updates serialize per graph and nothing evicts it);
+  // the other targets the flapping graph, where "updated" races 404
+  // (evicted mid-apply) and 409 (reloaded mid-apply) — all three are
+  // valid, anything else is a protocol failure.
+  threads.emplace_back([&] {
+    LineClient client;
+    if (!client.Connect("127.0.0.1", server.port()).empty()) {
+      ++protocol_failures;
+      return;
+    }
+    for (int round = 0; round < 20; ++round) {
+      const bool odd = (round % 2) != 0;
+      const std::string line =
+          std::string("{\"op\":\"update\",\"id\":\"upd\",\"name\":"
+                      "\"dense\",") +
+          (odd ? "\"insert\"" : "\"delete\"") +
+          ":[[0,23],[1,22]],\"options\":{\"max_delta_fraction\":1.0}}";
+      const std::string type = RoundTripType(&client, line);
+      if (type == "updated") {
+        ++updated_responses;
+      } else {
+        ++protocol_failures;
+      }
+    }
+  });
+  threads.emplace_back([&] {
+    LineClient client;
+    if (!client.Connect("127.0.0.1", server.port()).empty()) {
+      ++protocol_failures;
+      return;
+    }
+    for (int round = 0; round < 20; ++round) {
+      const std::string type = RoundTripType(
+          &client,
+          "{\"op\":\"update\",\"id\":\"flapupd\",\"name\":\"flap\","
+          "\"insert\":[[0,1]]}");
+      if (type != "updated" && type != "error") ++protocol_failures;
+    }
+  });
+
+  // Load/evict flapper racing the second updater's target.
+  threads.emplace_back([&] {
+    LineClient client;
+    if (!client.Connect("127.0.0.1", server.port()).empty()) {
+      ++protocol_failures;
+      return;
+    }
+    const std::string load_line =
+        std::string("{\"op\":\"load\",\"id\":\"flap-load\",\"name\":"
+                    "\"flap\",\"path\":\"") +
+        kToyGraphPath + "\"}";
+    for (int round = 0; round < 20; ++round) {
+      if (RoundTripType(&client, load_line) != "loaded") ++protocol_failures;
+      if (RoundTripType(&client,
+                        "{\"op\":\"evict\",\"id\":\"flap-evict\",\"name\":"
+                        "\"flap\"}") != "evicted")
+        ++protocol_failures;
+    }
+  });
+
+  // Stats poller: exercises the per-graph epoch/retirement reporting
+  // (PendingRetiredEpochs walks the weak trackers) against the races.
+  threads.emplace_back([&] {
+    LineClient client;
+    if (!client.Connect("127.0.0.1", server.port()).empty()) {
+      ++protocol_failures;
+      return;
+    }
+    while (!stop_pollers.load()) {
+      if (RoundTripType(&client, "{\"op\":\"stats\",\"id\":\"poll\"}") !=
+          "stats")
+        ++protocol_failures;
+      (void)server.registry().PendingRetiredEpochs("dense");
+    }
+  });
+
+  for (size_t i = 0; i + 1 < threads.size(); ++i) threads[i].join();
+  stop_pollers.store(true);
+  threads.back().join();
+
+  EXPECT_EQ(protocol_failures.load(), 0);
+  EXPECT_EQ(updated_responses.load(), 20);
+  // The stable graph's final epoch reflects every serialized update.
+  const auto entry = server.registry().Get("dense");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->prepared->lineage().updates_applied, 20u);
+
+  server.RequestDrain();
+  server.Wait();
+}
+
+TEST(ConcurrencyStress, RetiredEpochStaysAliveWhileBorrowed) {
+  GraphRegistry registry;
+  registry.Add("g", DenseGraph(), PrepareOptions());
+
+  // Borrow the current epoch the way an in-flight query would.
+  std::shared_ptr<const PreparedGraph> borrowed =
+      registry.Get("g")->prepared;
+  EXPECT_EQ(registry.PendingRetiredEpochs("g"), 0u);
+
+  update::UpdateBatch batch;
+  batch.Remove(0, 23);
+  batch.Insert(0, 23);  // noop round-trip keeps the edge set stable
+  const UpdateApplyOutcome outcome =
+      registry.ApplyUpdates("g", batch, update::UpdateOptions());
+  ASSERT_TRUE(outcome.ok()) << outcome.error;
+
+  // The replaced epoch is retired but pinned by the borrower...
+  EXPECT_EQ(registry.PendingRetiredEpochs("g"), 1u);
+  EXPECT_NE(registry.Get("g")->prepared.get(), borrowed.get());
+  {
+    // ...and still fully usable (the session takes its own pin).
+    QuerySession session(borrowed);
+    EnumerateRequest request;
+    request.algorithm = "itraversal";
+    request.time_budget_seconds = 0.05;
+    EnumerateStats stats;
+    session.Count(request, &stats);
+    EXPECT_TRUE(stats.error.empty()) << stats.error;
+  }
+
+  // Releasing the borrow lets the epoch die; the tracker observes it.
+  borrowed.reset();
+  EXPECT_EQ(registry.PendingRetiredEpochs("g"), 0u);
 }
 
 TEST(ConcurrencyStress, InterleavedSessionsRaceLazyArtifactsOnce) {

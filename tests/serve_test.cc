@@ -7,6 +7,7 @@
 #include <chrono>
 #include <fstream>
 #include <map>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -386,6 +387,118 @@ TEST(ServeTest, WireLoadEvictAndErrorsRoundTrip) {
                 "{\"k\":1}}");
   EXPECT_EQ(r[0].type, "error");
   EXPECT_EQ(NumberField(r[0].value, "code"), 404);
+
+  server.RequestDrain();
+  server.Wait();
+}
+
+/// Keys of a parsed JSON object, for additive-schema golden checks.
+std::set<std::string> KeysOf(const json::JsonValue& obj) {
+  EXPECT_TRUE(obj.is_object());
+  std::set<std::string> keys;
+  for (const auto& member : obj.AsObject()) keys.insert(member.first);
+  return keys;
+}
+
+TEST(ServeTest, UpdateOpRoundTripsAndStatsSchemaIsAdditive) {
+  ServerOptions options;
+  Server server(options);
+  ASSERT_EQ(server.Start(), "");
+  LineClient client;
+  ASSERT_EQ(client.Connect("127.0.0.1", server.port()), "");
+
+  // Update against an unknown graph -> 404 before anything else runs.
+  std::vector<Response> r = RoundTrip(
+      &client,
+      "{\"op\":\"update\",\"id\":1,\"name\":\"toy\",\"insert\":[[0,3]]}");
+  EXPECT_EQ(r[0].type, "error");
+  EXPECT_EQ(NumberField(r[0].value, "code"), 404);
+
+  r = RoundTrip(&client, std::string("{\"op\":\"load\",\"id\":2,\"name\":"
+                                     "\"toy\",\"path\":\"") +
+                             kToyGraphPath + "\"}");
+  ASSERT_EQ(r[0].type, "loaded");
+
+  // Grammar errors are 400s: malformed edge arrays, unknown options.
+  r = RoundTrip(&client,
+                "{\"op\":\"update\",\"id\":3,\"name\":\"toy\","
+                "\"insert\":[[0]]}");
+  EXPECT_EQ(r[0].type, "error");
+  EXPECT_EQ(NumberField(r[0].value, "code"), 400);
+  r = RoundTrip(&client,
+                "{\"op\":\"update\",\"id\":4,\"name\":\"toy\","
+                "\"insert\":[[0,3]],\"options\":{\"bogus\":1}}");
+  EXPECT_EQ(r[0].type, "error");
+  EXPECT_EQ(NumberField(r[0].value, "code"), 400);
+  // Out-of-range endpoints are a batch-validation 400, not a crash.
+  r = RoundTrip(&client,
+                "{\"op\":\"update\",\"id\":5,\"name\":\"toy\","
+                "\"insert\":[[9999,0]]}");
+  EXPECT_EQ(r[0].type, "error");
+  EXPECT_EQ(NumberField(r[0].value, "code"), 400);
+
+  // A real update: one insert, one delete, one noop insert.
+  r = RoundTrip(&client,
+                "{\"op\":\"update\",\"id\":6,\"name\":\"toy\","
+                "\"insert\":[[0,3],[0,0]],\"delete\":[[0,1]],"
+                "\"options\":{\"max_delta_fraction\":1.0}}");
+  ASSERT_EQ(r[0].type, "updated");
+  EXPECT_EQ(KeysOf(r[0].value),
+            (std::set<std::string>{"type", "id", "graph", "generation",
+                                   "epoch", "inserted", "deleted",
+                                   "noop_inserts", "noop_deletes", "rebuilt",
+                                   "seconds"}));
+  EXPECT_EQ(NumberField(r[0].value, "epoch"), 1);
+  EXPECT_EQ(NumberField(r[0].value, "inserted"), 1);
+  EXPECT_EQ(NumberField(r[0].value, "deleted"), 1);
+  EXPECT_EQ(NumberField(r[0].value, "noop_inserts"), 1);
+
+  // Queries after the update run against the new epoch and agree with a
+  // direct session over the same mutated graph.
+  r = RoundTrip(&client,
+                "{\"op\":\"query\",\"id\":7,\"graph\":\"toy\",\"emit\":"
+                "\"count\",\"request\":{\"algo\":\"itraversal\",\"k\":1}}");
+  ASSERT_EQ(r.back().type, "done");
+  const json::JsonValue* done_stats = r.back().value.Find("stats");
+  ASSERT_NE(done_stats, nullptr);
+  const double served_count = NumberField(*done_stats, "solutions");
+  LoadResult loaded = LoadEdgeList(kToyGraphPath);
+  ASSERT_TRUE(loaded.ok()) << loaded.error;
+  std::vector<BipartiteGraph::Edge> edges;
+  for (VertexId l = 0; l < static_cast<VertexId>(loaded.graph->NumLeft());
+       ++l)
+    for (VertexId v : loaded.graph->LeftNeighbors(l))
+      if (!(l == 0 && v == 1)) edges.push_back({l, v});
+  edges.push_back({0, 3});
+  BipartiteGraph mutated = BipartiteGraph::FromEdges(
+      loaded.graph->NumLeft(), loaded.graph->NumRight(), std::move(edges));
+  QuerySession direct(
+      PreparedGraph::Prepare(std::move(mutated), ServerOptions().prepare));
+  EnumerateRequest request;
+  request.algorithm = "itraversal";
+  EXPECT_EQ(served_count, static_cast<double>(direct.Count(request)));
+
+  // Per-graph stats schema is additive: the epoch/update keys ride along
+  // with the pre-update ones, and the lineage block is complete.
+  r = RoundTrip(&client, "{\"op\":\"stats\",\"id\":8}");
+  ASSERT_EQ(r[0].type, "stats");
+  const json::JsonValue* graphs = r[0].value.Find("graphs");
+  ASSERT_NE(graphs, nullptr);
+  ASSERT_EQ(graphs->AsArray().size(), 1u);
+  const json::JsonValue& toy = graphs->AsArray()[0];
+  EXPECT_EQ(KeysOf(toy),
+            (std::set<std::string>{"name", "generation", "epoch",
+                                   "pending_retired_epochs", "updates",
+                                   "artifacts"}));
+  EXPECT_EQ(NumberField(toy, "epoch"), 1);
+  const json::JsonValue* updates = toy.Find("updates");
+  ASSERT_NE(updates, nullptr);
+  EXPECT_EQ(KeysOf(*updates),
+            (std::set<std::string>{"epoch", "updates_applied",
+                                   "edges_inserted", "edges_deleted",
+                                   "full_rebuilds", "artifacts_incremental",
+                                   "artifacts_rebuilt", "apply_seconds"}));
+  EXPECT_EQ(NumberField(*updates, "updates_applied"), 1);
 
   server.RequestDrain();
   server.Wait();

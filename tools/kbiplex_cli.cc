@@ -23,11 +23,19 @@
 // '#' are skipped. Exactly one JSON stats object is printed per query
 // line; solutions themselves are not printed. --queries defaults to "-"
 // (stdin).
+//
+// Batch files may also mutate the graph between queries:
+//   update +L:R -L:R ... [--max-delta-fraction F] [--force-rebuild]
+// applies the edge delta (+ inserts, - deletes) as one batch, publishing
+// a new epoch that subsequent query lines run against; one JSON object
+// describing the apply is printed per update line.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -37,6 +45,9 @@
 #include "api/request_parse.h"
 #include "graph/core_decomposition.h"
 #include "graph/graph_io.h"
+#include "update/incremental.h"
+#include "update/update_batch.h"
+#include "util/json.h"
 
 using namespace kbiplex;
 
@@ -80,6 +91,10 @@ void PrintUsage() {
                "imb --k 1 --max 50\"),\n"
                "prepares the graph once, and prints one JSON stats object "
                "per query.\n"
+               "batch lines starting with \"update\" mutate the graph: "
+               "update +L:R -L:R ...\n"
+               "  [--max-delta-fraction F] [--force-rebuild] — later queries "
+               "see the new epoch.\n"
                "algorithms: "
             << names << "\n";
 }
@@ -216,6 +231,57 @@ int CmdLarge(CliArgs args, BipartiteGraph g) {
   return RunRequest(args, std::move(g));
 }
 
+/// Parses one batch `update` line (everything after the keyword):
+/// "+L:R" inserts, "-L:R" deletes, plus the two option flags. Returns the
+/// error message, empty on success.
+std::string ParseUpdateLine(const std::string& rest,
+                            update::UpdateBatch* batch,
+                            update::UpdateOptions* options) {
+  std::istringstream is(rest);
+  std::string token;
+  while (is >> token) {
+    if (token == "--force-rebuild") {
+      options->force_rebuild = true;
+      continue;
+    }
+    if (token == "--max-delta-fraction") {
+      std::string value;
+      if (!(is >> value)) return "--max-delta-fraction expects a number";
+      try {
+        options->max_delta_fraction = std::stod(value);
+      } catch (...) {
+        return "--max-delta-fraction expects a number, got: " + value;
+      }
+      if (options->max_delta_fraction < 0) {
+        return "--max-delta-fraction must be non-negative";
+      }
+      continue;
+    }
+    if (token.size() < 4 || (token[0] != '+' && token[0] != '-')) {
+      return "bad update token '" + token + "' (want +L:R or -L:R)";
+    }
+    const size_t colon = token.find(':', 1);
+    if (colon == std::string::npos || colon == 1 ||
+        colon + 1 >= token.size()) {
+      return "bad update token '" + token + "' (want +L:R or -L:R)";
+    }
+    VertexId l, r;
+    try {
+      l = static_cast<VertexId>(std::stoul(token.substr(1, colon - 1)));
+      r = static_cast<VertexId>(std::stoul(token.substr(colon + 1)));
+    } catch (...) {
+      return "bad vertex ids in update token '" + token + "'";
+    }
+    if (token[0] == '+') {
+      batch->Insert(l, r);
+    } else {
+      batch->Remove(l, r);
+    }
+  }
+  if (batch->empty()) return "update line has no edges";
+  return "";
+}
+
 int CmdBatch(const CliArgs& args, BipartiteGraph g) {
   std::ifstream file;
   std::istream* in = &std::cin;
@@ -231,14 +297,53 @@ int CmdBatch(const CliArgs& args, BipartiteGraph g) {
 
   // One prepare, N executes: every artifact (index, renumbering,
   // components, core bounds) and all engine scratch is shared across the
-  // whole batch through the session.
-  QuerySession session(PreparedGraph::Prepare(
-      std::move(g), PreparePolicy(args, /*one_shot=*/false)));
+  // whole batch through the session. An `update` line replaces the
+  // prepared epoch (copy-on-write) and the session is rebuilt against it;
+  // engine scratch is the only thing lost.
+  std::shared_ptr<const PreparedGraph> prepared = PreparedGraph::Prepare(
+      std::move(g), PreparePolicy(args, /*one_shot=*/false));
+  auto session = std::make_unique<QuerySession>(prepared);
   bool all_ok = true;
   std::string line;
   while (std::getline(*in, line)) {
     const size_t start = line.find_first_not_of(" \t\r");
     if (start == std::string::npos || line[start] == '#') continue;
+    if (line.compare(start, 6, "update") == 0 &&
+        (start + 6 == line.size() || line[start + 6] == ' ' ||
+         line[start + 6] == '\t')) {
+      update::UpdateBatch batch;
+      update::UpdateOptions options;
+      std::string err =
+          ParseUpdateLine(line.substr(start + 6), &batch, &options);
+      update::UpdateResult result;
+      if (err.empty()) {
+        result = prepared->ApplyUpdates(batch, options);
+        err = result.error;
+      }
+      // Exactly one JSON object per update line, mirroring the per-query
+      // stats contract.
+      std::ostringstream os;
+      if (!err.empty()) {
+        os << "{\"update\":\"error\",\"error\":";
+        json::AppendEscaped(os, err);
+        os << '}';
+        all_ok = false;
+      } else {
+        prepared = result.prepared;
+        session = std::make_unique<QuerySession>(prepared);
+        os << "{\"update\":\"ok\",\"epoch\":" << prepared->epoch()
+           << ",\"inserted\":" << result.edges_inserted
+           << ",\"deleted\":" << result.edges_deleted
+           << ",\"noop_inserts\":" << result.noop_inserts
+           << ",\"noop_deletes\":" << result.noop_deletes
+           << ",\"rebuilt\":" << json::Bool(result.rebuilt)
+           << ",\"seconds\":";
+        json::AppendDouble(os, result.seconds);
+        os << '}';
+      }
+      std::cout << os.str() << "\n";
+      continue;
+    }
     EnumerateRequest request;
     EnumerateStats stats;
     if (std::string err = ParseRequestLine(line, &request); !err.empty()) {
@@ -246,7 +351,7 @@ int CmdBatch(const CliArgs& args, BipartiteGraph g) {
       stats.completed = false;
     } else {
       CountingSink counter;
-      stats = session.Run(request, &counter);
+      stats = session->Run(request, &counter);
     }
     // Exactly one JSON stats object per query line, errors included, so
     // scripted consumers can zip queries with results.

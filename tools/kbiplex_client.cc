@@ -14,6 +14,12 @@
 //   kbiplex-client --port N query GRAPH [request flags...]
 //                  [--deadline-ms N] [--count]
 //
+// Update mode: builds one update command from edge flags and prints its
+// terminal response (see docs/wire_protocol.md, "Updates").
+//
+//   kbiplex-client --port N update GRAPH [--insert L:R]... [--delete L:R]...
+//                  [--max-delta-fraction F] [--force-rebuild]
+//
 // Exit status: 0 when every command ended in a non-error terminal
 // response, 1 otherwise.
 
@@ -32,9 +38,21 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --port N [--host H]                 (stdin NDJSON)\n"
                "       %s --port N query GRAPH [request flags]\n"
-               "                  [--deadline-ms N] [--count]\n",
-               argv0, argv0);
+               "                  [--deadline-ms N] [--count]\n"
+               "       %s --port N update GRAPH [--insert L:R]... "
+               "[--delete L:R]...\n"
+               "                  [--max-delta-fraction F] [--force-rebuild]\n",
+               argv0, argv0, argv0);
   return 2;
+}
+
+/// Parses "L:R" into an edge; false on malformed input.
+bool ParseEdgeFlag(const std::string& s, uint64_t* l, uint64_t* r) {
+  const size_t colon = s.find(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= s.size())
+    return false;
+  return kbiplex::ParseUint64(s.substr(0, colon), l) &&
+         kbiplex::ParseUint64(s.substr(colon + 1), r);
 }
 
 enum class Pump { kOk, kError, kFatal };
@@ -82,7 +100,48 @@ int main(int argc, char** argv) {
   if (port == 0) return Usage(argv[0]);
 
   std::string query_line;
-  if (i < argc) {
+  if (i < argc && std::string(argv[i]) == "update") {
+    if (i + 1 >= argc) return Usage(argv[0]);
+    const std::string graph = argv[i + 1];
+    std::string inserts, deletes, options;
+    for (int t = i + 2; t < argc; ++t) {
+      const std::string flag = argv[t];
+      if ((flag == "--insert" || flag == "--delete") && t + 1 < argc) {
+        uint64_t l = 0, r = 0;
+        if (!ParseEdgeFlag(argv[++t], &l, &r)) {
+          std::fprintf(stderr, "kbiplex-client: bad %s edge '%s'\n",
+                       flag.c_str(), argv[t]);
+          return 2;
+        }
+        std::string& list = flag == "--insert" ? inserts : deletes;
+        if (!list.empty()) list += ",";
+        list += "[" + std::to_string(l) + "," + std::to_string(r) + "]";
+      } else if (flag == "--max-delta-fraction" && t + 1 < argc) {
+        double f = 0;
+        if (!kbiplex::ParseDouble(argv[++t], &f) || f < 0) {
+          std::fprintf(stderr,
+                       "kbiplex-client: bad --max-delta-fraction '%s'\n",
+                       argv[t]);
+          return 2;
+        }
+        if (!options.empty()) options += ",";
+        options += "\"max_delta_fraction\":" + std::string(argv[t]);
+      } else if (flag == "--force-rebuild") {
+        if (!options.empty()) options += ",";
+        options += "\"force_rebuild\":true";
+      } else {
+        std::fprintf(stderr, "kbiplex-client: unknown flag '%s'\n",
+                     flag.c_str());
+        return 2;
+      }
+    }
+    std::string line = "{\"op\":\"update\",\"id\":1,\"name\":\"" + graph +
+                       "\",\"insert\":[" + inserts + "],\"delete\":[" +
+                       deletes + "]";
+    if (!options.empty()) line += ",\"options\":{" + options + "}";
+    line += "}";
+    query_line = std::move(line);
+  } else if (i < argc) {
     if (std::string(argv[i]) != "query" || i + 1 >= argc)
       return Usage(argv[0]);
     const std::string graph = argv[i + 1];
